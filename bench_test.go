@@ -1,0 +1,305 @@
+package rmrls
+
+// One testing.B benchmark per table/figure of the paper's evaluation, plus
+// ablation benches for the design choices DESIGN.md calls out. The bench
+// workloads are scaled-down but shape-preserving versions of the full
+// experiments; cmd/experiments runs the full-size ones.
+
+import (
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/mmd"
+	"repro/internal/perm"
+	"repro/internal/rng"
+)
+
+// BenchmarkTable1 synthesizes random 3-variable functions over NCT (the
+// Table I workload).
+func BenchmarkTable1(b *testing.B) {
+	src := rng.New(1)
+	opts := core.DefaultOptions()
+	opts.Library = circuit.NCT
+	opts.TotalSteps = 4000
+	opts.ImproveSteps = 1500
+	opts.MaxGates = 20
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := perm.Random(3, src)
+		res, err := core.SynthesizePerm(p, opts)
+		if err != nil || !res.Found {
+			b.Fatalf("synthesis failed: %v %+v", err, res)
+		}
+	}
+}
+
+// BenchmarkTable1Optimal measures the exhaustive-BFS optimal column.
+func BenchmarkTable1Optimal(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := OptimalDistances(false)
+		if tab.Size() != 40320 {
+			b.Fatal("incomplete BFS")
+		}
+	}
+}
+
+// BenchmarkTable2 synthesizes random 4-variable functions (Table II).
+func BenchmarkTable2(b *testing.B) {
+	benchRandom(b, exp.Table2Config(0, 2))
+}
+
+// BenchmarkTable3 synthesizes random 5-variable functions (Table III).
+func BenchmarkTable3(b *testing.B) {
+	benchRandom(b, exp.Table3Config(0, 3))
+}
+
+func benchRandom(b *testing.B, cfg exp.RandomConfig) {
+	src := rng.New(cfg.Seed)
+	b.ReportAllocs()
+	found := 0
+	for i := 0; i < b.N; i++ {
+		p := perm.Random(cfg.Vars, src)
+		opts := core.DefaultOptions()
+		opts.MaxGates = cfg.MaxGates
+		opts.TotalSteps = cfg.TotalSteps
+		opts.ImproveSteps = cfg.ImproveSteps
+		res, err := core.SynthesizePerm(p, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Found {
+			found++
+		}
+	}
+	b.ReportMetric(float64(found)/float64(b.N), "found-rate")
+}
+
+// BenchmarkTable4 synthesizes one representative Table IV benchmark per
+// iteration (decod24: mid-size, always solvable).
+func BenchmarkTable4(b *testing.B) {
+	bm, err := BenchmarkByName("decod24")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec, _ := bm.PPRMSpec()
+	opts := core.DefaultOptions()
+	opts.TotalSteps = 100000
+	opts.ImproveSteps = 20000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := core.Synthesize(spec, opts)
+		if !res.Found {
+			b.Fatal("decod24 failed")
+		}
+	}
+}
+
+// BenchmarkExamples runs the full worked-example set (Figs. 3(d), 7, 8 and
+// Examples 1–8; the quick subset that synthesizes in milliseconds).
+func BenchmarkExamples(b *testing.B) {
+	names := []string{"ex1", "shiftright3", "fredkin3", "swap3", "swap4",
+		"shiftleft3", "shiftleft4", "fulladder"}
+	specs := make([]*Spec, len(names))
+	for i, n := range names {
+		bm, err := BenchmarkByName(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		specs[i], _ = bm.PPRMSpec()
+	}
+	opts := core.DefaultOptions()
+	opts.TotalSteps = 50000
+	opts.ImproveSteps = 10000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for j, spec := range specs {
+			if res := core.Synthesize(spec, opts); !res.Found {
+				b.Fatalf("example %s failed", names[j])
+			}
+		}
+	}
+}
+
+// BenchmarkTable5 resynthesizes random 8-variable circuits of ≤15 gates
+// (the Table V workload at its middle variable count).
+func BenchmarkTable5(b *testing.B) { benchScalability(b, 8, 15) }
+
+// BenchmarkTable6 is the ≤20-gate variant (Table VI).
+func BenchmarkTable6(b *testing.B) { benchScalability(b, 12, 20) }
+
+// BenchmarkTable7 is the ≤25-gate variant at the top width (Table VII).
+func BenchmarkTable7(b *testing.B) { benchScalability(b, 16, 25) }
+
+func benchScalability(b *testing.B, wires, maxGates int) {
+	src := rng.New(uint64(wires)*100 + uint64(maxGates))
+	b.ReportAllocs()
+	found := 0
+	for i := 0; i < b.N; i++ {
+		gates := 1 + src.Intn(maxGates)
+		c := circuit.Random(wires, gates, circuit.GT, src)
+		opts := core.DefaultOptions()
+		opts.FirstSolution = true
+		opts.TotalSteps = 60000
+		opts.MaxGates = 40
+		if res := core.Synthesize(c.PPRM(), opts); res.Found {
+			found++
+		}
+	}
+	b.ReportMetric(float64(found)/float64(b.N), "found-rate")
+}
+
+// BenchmarkMMDBaseline measures the transformation-based baseline on the
+// Table I workload for comparison with BenchmarkTable1.
+func BenchmarkMMDBaseline(b *testing.B) {
+	src := rng.New(9)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := perm.Random(3, src)
+		if c := mmd.Synthesize(p, mmd.Bidirectional); !c.Perm().Equal(p) {
+			b.Fatal("baseline produced a wrong circuit")
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md callouts) ---
+
+func ablationWorkload(b *testing.B, mut func(*core.Options)) (foundRate, avgGates float64) {
+	src := rng.New(12345)
+	found, gates := 0, 0
+	const sample = 1 // per b.N iteration
+	total := 0
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < sample; j++ {
+			p := perm.Random(4, src)
+			opts := core.DefaultOptions()
+			opts.MaxGates = 40
+			opts.TotalSteps = 30000
+			opts.ImproveSteps = 5000
+			mut(&opts)
+			res, err := core.SynthesizePerm(p, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			total++
+			if res.Found {
+				found++
+				gates += res.Circuit.Len()
+			}
+		}
+	}
+	if found == 0 {
+		return 0, 0
+	}
+	return float64(found) / float64(total), float64(gates) / float64(found)
+}
+
+func reportAblation(b *testing.B, foundRate, avgGates float64) {
+	b.ReportMetric(foundRate, "found-rate")
+	b.ReportMetric(avgGates, "avg-gates")
+}
+
+// BenchmarkAblationWeightsPaper uses the published Eq. (4) weights and
+// depth division; compare its found-rate with BenchmarkAblationWeightsOurs.
+func BenchmarkAblationWeightsPaper(b *testing.B) {
+	fr, ag := ablationWorkload(b, func(o *core.Options) {
+		o.Alpha, o.Beta, o.Gamma = 0.3, 0.6, 0.1
+		o.LinearElim = false
+	})
+	reportAblation(b, fr, ag)
+}
+
+// BenchmarkAblationWeightsOurs uses the repository defaults.
+func BenchmarkAblationWeightsOurs(b *testing.B) {
+	fr, ag := ablationWorkload(b, func(o *core.Options) {})
+	reportAblation(b, fr, ag)
+}
+
+// BenchmarkAblationPerStepElim scores with the per-step elim reading.
+func BenchmarkAblationPerStepElim(b *testing.B) {
+	fr, ag := ablationWorkload(b, func(o *core.Options) { o.PerStepElim = true })
+	reportAblation(b, fr, ag)
+}
+
+// BenchmarkAblationAdmitAll removes the bounded-growth admission filter.
+func BenchmarkAblationAdmitAll(b *testing.B) {
+	fr, ag := ablationWorkload(b, func(o *core.Options) { o.Admission = core.AdmitAll })
+	reportAblation(b, fr, ag)
+}
+
+// BenchmarkAblationAdmitPerStep applies the strict Fig. 4 line 31 rule.
+func BenchmarkAblationAdmitPerStep(b *testing.B) {
+	fr, ag := ablationWorkload(b, func(o *core.Options) { o.Admission = core.AdmitPerStep })
+	reportAblation(b, fr, ag)
+}
+
+// BenchmarkAblationNoGreedy disables the greedy-k heuristic.
+func BenchmarkAblationNoGreedy(b *testing.B) {
+	fr, ag := ablationWorkload(b, func(o *core.Options) { o.GreedyK = 0 })
+	reportAblation(b, fr, ag)
+}
+
+// BenchmarkAblationNoAdditional disables the Section IV-D substitutions.
+func BenchmarkAblationNoAdditional(b *testing.B) {
+	fr, ag := ablationWorkload(b, func(o *core.Options) { o.Additional = false })
+	reportAblation(b, fr, ag)
+}
+
+// BenchmarkAblationNoRestarts disables the restart heuristic.
+func BenchmarkAblationNoRestarts(b *testing.B) {
+	fr, ag := ablationWorkload(b, func(o *core.Options) { o.MaxSteps = 0 })
+	reportAblation(b, fr, ag)
+}
+
+// BenchmarkPPRMTransform measures the truth-table → PPRM Möbius transform
+// on 16-variable functions (the substrate cost of Tables V–VII).
+func BenchmarkPPRMTransform(b *testing.B) {
+	src := rng.New(6)
+	c := circuit.Random(16, 25, circuit.GT, src)
+	p := c.Perm()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PPRMOf(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSymbolicPPRM measures the symbolic circuit → PPRM route used
+// for wide circuits (e.g. shift28).
+func BenchmarkSymbolicPPRM(b *testing.B) {
+	src := rng.New(7)
+	c := circuit.Random(28, 25, circuit.GT, src)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if spec := c.PPRM(); spec.N != 28 {
+			b.Fatal("bad spec")
+		}
+	}
+}
+
+// BenchmarkEmbedding measures the irreversible→reversible lifting on the
+// rd53 truth table.
+func BenchmarkEmbedding(b *testing.B) {
+	tab := &TruthTable{Inputs: 5, Outputs: 3, Rows: make([]uint32, 32)}
+	for x := range tab.Rows {
+		tab.Rows[x] = uint32(popcount5(uint32(x)))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Embed(tab); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func popcount5(x uint32) int {
+	n := 0
+	for i := 0; i < 5; i++ {
+		n += int(x >> uint(i) & 1)
+	}
+	return n
+}

@@ -1,0 +1,214 @@
+// Command rmrls synthesizes reversible functions into Toffoli-gate
+// cascades using the Reed–Muller reversible logic synthesis algorithm.
+//
+// Usage:
+//
+//	rmrls [flags] '{1, 0, 7, 2, 3, 4, 5, 6}'   # permutation specification
+//	rmrls [flags] -pprm -n 3 spec.pprm          # PPRM file, one output per line
+//	rmrls [flags] -bench rd53                   # a named paper benchmark
+//
+// The output is the synthesized cascade in the paper's notation, its gate
+// count and quantum cost, and (where feasible) a simulation-based
+// verification verdict.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/bits"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/fredkin"
+	"repro/internal/mmd"
+	"repro/internal/perm"
+	"repro/internal/pprm"
+	"repro/internal/tt"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "", "synthesize a named paper benchmark (see -list)")
+		list      = flag.Bool("list", false, "list available benchmark names and exit")
+		isPPRM    = flag.Bool("pprm", false, "treat the argument as a PPRM file instead of a permutation")
+		isPLA     = flag.Bool("pla", false, "treat the argument as a PLA truth-table file (don't-cares allowed); the function is embedded before synthesis")
+		vars      = flag.Int("n", 0, "variable count (required with -pprm)")
+		timeLimit = flag.Duration("time", 30*time.Second, "synthesis time limit")
+		steps     = flag.Int("steps", 0, "deterministic step limit (0 = none)")
+		maxGates  = flag.Int("maxgates", 0, "maximum circuit size (0 = automatic)")
+		greedyK   = flag.Int("k", 4, "greedy pruning width (0 = keep all substitutions)")
+		basic     = flag.Bool("basic", false, "use the basic algorithm (no heuristics)")
+		library   = flag.String("library", "gt", "gate library: gt or nct")
+		first     = flag.Bool("first", false, "stop at the first solution found")
+		simplify  = flag.Bool("simplify", false, "apply peephole simplification to the result")
+		baseline  = flag.Bool("mmd", false, "also run the transformation-based baseline")
+		portfolio = flag.Bool("portfolio", false, "run the search portfolio + tightening (slower, better circuits)")
+		fredkinF  = flag.Bool("fredkin", false, "report the mixed Fredkin/Toffoli form of the result")
+		diagram   = flag.Bool("diagram", false, "draw the circuit")
+		trace     = flag.Bool("trace", false, "print the search trace (pops/pushes/solutions)")
+		quiet     = flag.Bool("q", false, "print only the circuit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, b := range bench.All() {
+			fmt.Printf("%-12s %2d wires  %s\n", b.Name, b.Wires, b.Description)
+		}
+		return
+	}
+
+	spec, p, err := loadSpec(*benchName, *isPPRM, *isPLA, *vars, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rmrls:", err)
+		os.Exit(1)
+	}
+
+	opts := core.DefaultOptions()
+	if *basic {
+		opts = core.BasicOptions()
+	}
+	opts.TimeLimit = *timeLimit
+	opts.TotalSteps = *steps
+	opts.MaxGates = *maxGates
+	opts.GreedyK = *greedyK
+	opts.FirstSolution = *first
+	switch strings.ToLower(*library) {
+	case "gt":
+	case "nct":
+		opts.Library = circuit.NCT
+	default:
+		fmt.Fprintf(os.Stderr, "rmrls: unknown library %q\n", *library)
+		os.Exit(1)
+	}
+	if *trace {
+		opts.Trace = printEvent
+	}
+
+	var res core.Result
+	if *portfolio {
+		res = core.SynthesizePortfolio(spec, opts, 4)
+	} else {
+		res = core.Synthesize(spec, opts)
+	}
+	if !res.Found {
+		fmt.Fprintf(os.Stderr, "rmrls: no circuit found within limits (%d steps, %d restarts, %v)\n",
+			res.Steps, res.Restarts, res.Elapsed.Round(time.Millisecond))
+		os.Exit(2)
+	}
+	c := res.Circuit
+	if *simplify {
+		c = c.Simplify()
+	}
+	fmt.Println(c)
+	if !*quiet {
+		fmt.Printf("# gates=%d quantum-cost=%d steps=%d nodes=%d elapsed=%v\n",
+			c.Len(), c.QuantumCost(), res.Steps, res.Nodes, res.Elapsed.Round(time.Microsecond))
+		if p != nil && spec.N <= 22 {
+			if err := core.Verify(c, p); err != nil {
+				fmt.Fprintln(os.Stderr, "rmrls: VERIFICATION FAILED:", err)
+				os.Exit(3)
+			}
+			fmt.Println("# verified: circuit realizes the specification")
+		}
+	}
+
+	if *diagram {
+		fmt.Println(c.Diagram())
+	}
+	if *fredkinF {
+		mixed := fredkin.Recognize(c)
+		fmt.Printf("# fredkin form (%d gates, %d fredkin): %s\n",
+			mixed.Len(), mixed.FredkinCount(), mixed)
+	}
+	if *baseline && p != nil {
+		b := mmd.Synthesize(p, mmd.Bidirectional)
+		fmt.Printf("# baseline (Miller/Maslov/Dueck bidirectional): %d gates, cost %d\n",
+			b.Len(), b.QuantumCost())
+	}
+}
+
+// loadSpec resolves the three input modes to a PPRM expansion (and, where
+// available, a permutation for verification).
+func loadSpec(benchName string, isPPRM, isPLA bool, vars int, args []string) (*pprm.Spec, perm.Perm, error) {
+	if benchName != "" {
+		b, err := bench.ByName(benchName)
+		if err != nil {
+			return nil, nil, err
+		}
+		spec, err := b.PPRMSpec()
+		return spec, b.Spec, err
+	}
+	if len(args) != 1 {
+		return nil, nil, fmt.Errorf("expected exactly one specification argument (or -bench/-list)")
+	}
+	arg := args[0]
+	if isPLA {
+		text, err := os.ReadFile(arg)
+		if err != nil {
+			return nil, nil, err
+		}
+		pt, err := tt.ParsePLAPartial(string(text))
+		if err != nil {
+			return nil, nil, err
+		}
+		emb, _, err := tt.EmbedPartial(pt, 16, 1)
+		if err != nil {
+			return nil, nil, err
+		}
+		fmt.Fprintf(os.Stderr, "# embedded: %d wires, %d garbage outputs, %d constant inputs, %d don't-care bits assigned\n",
+			emb.Wires, emb.GarbageOutputs, emb.ConstantInputs, pt.DontCareBits())
+		p := perm.Perm(emb.Spec)
+		spec, err := pprm.FromPerm(p)
+		return spec, p, err
+	}
+	if isPPRM {
+		if vars < 1 || vars > bits.MaxVars {
+			return nil, nil, fmt.Errorf("-pprm requires -n between 1 and %d", bits.MaxVars)
+		}
+		text, err := os.ReadFile(arg)
+		if err != nil {
+			return nil, nil, err
+		}
+		spec, err := pprm.Parse(vars, string(text))
+		if err != nil {
+			return nil, nil, err
+		}
+		if vars <= 22 {
+			p := spec.ToPerm()
+			if err := p.Validate(); err != nil {
+				return nil, nil, fmt.Errorf("PPRM does not describe a reversible function: %v", err)
+			}
+			return spec, p, nil
+		}
+		return spec, nil, nil
+	}
+	text := arg
+	if data, err := os.ReadFile(arg); err == nil {
+		text = string(data)
+	}
+	p, err := perm.Parse(text)
+	if err != nil {
+		return nil, nil, err
+	}
+	spec, err := pprm.FromPerm(p)
+	return spec, p, err
+}
+
+func printEvent(e core.Event) {
+	kind := map[core.EventKind]string{
+		core.EventPush:     "push",
+		core.EventPop:      "pop ",
+		core.EventSolution: "SOLN",
+		core.EventRestart:  "rstr",
+	}[e.Kind]
+	sub := "-"
+	if e.Target >= 0 {
+		sub = fmt.Sprintf("%s=%s^%s", bits.VarName(e.Target), bits.VarName(e.Target), bits.TermString(e.Factor))
+	}
+	fmt.Printf("# %s id=%-6d parent=%-6d depth=%-2d %-14s terms=%-3d elim=%-3d prio=%.3f\n",
+		kind, e.ID, e.Parent, e.Depth, sub, e.Terms, e.Elim, e.Priority)
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadSpecPermLiteral(t *testing.T) {
+	spec, p, err := loadSpec("", false, false, 0, []string{"{1, 0, 7, 2, 3, 4, 5, 6}"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.N != 3 || p == nil {
+		t.Errorf("spec.N=%d p=%v", spec.N, p)
+	}
+}
+
+func TestLoadSpecBench(t *testing.T) {
+	spec, p, err := loadSpec("graycode6", false, false, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.N != 6 || p == nil {
+		t.Errorf("bench load broken: n=%d", spec.N)
+	}
+	if _, _, err := loadSpec("nonesuch", false, false, 0, nil); err == nil {
+		t.Error("unknown benchmark should fail")
+	}
+}
+
+func TestLoadSpecPPRMFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "spec.pprm")
+	if err := os.WriteFile(path, []byte("a' = a ^ 1\nb' = b ^ c ^ ac\nc' = b ^ ab ^ ac\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec, p, err := loadSpec("", true, false, 3, []string{path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.N != 3 || p == nil {
+		t.Error("pprm file load broken")
+	}
+	// Non-reversible PPRM must be rejected.
+	bad := filepath.Join(dir, "bad.pprm")
+	os.WriteFile(bad, []byte("a' = b\nb' = b\n"), 0o644)
+	if _, _, err := loadSpec("", true, false, 2, []string{bad}); err == nil {
+		t.Error("non-reversible PPRM should fail")
+	}
+}
+
+func TestLoadSpecPermFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "spec.perm")
+	os.WriteFile(path, []byte("{1, 0, 3, 2}"), 0o644)
+	spec, _, err := loadSpec("", false, false, 0, []string{path})
+	if err != nil || spec.N != 2 {
+		t.Errorf("perm file load broken: %v", err)
+	}
+}
+
+func TestLoadSpecErrors(t *testing.T) {
+	if _, _, err := loadSpec("", false, false, 0, nil); err == nil {
+		t.Error("missing argument should fail")
+	}
+	if _, _, err := loadSpec("", true, false, 0, []string{"x"}); err == nil {
+		t.Error("pprm without -n should fail")
+	}
+	if _, _, err := loadSpec("", false, false, 0, []string{"{0, 0}"}); err == nil {
+		t.Error("invalid permutation should fail")
+	}
+}
+
+func TestLoadSpecPLAFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "maj.pla")
+	os.WriteFile(path, []byte(".i 3\n.o 1\n111 1\n110 1\n101 1\n011 1\n000 0\n001 0\n010 0\n100 0\n.e\n"), 0o644)
+	spec, p, err := loadSpec("", false, true, 0, []string{path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.N != 3 || p == nil {
+		t.Errorf("PLA load: n=%d", spec.N)
+	}
+}

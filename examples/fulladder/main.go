@@ -1,0 +1,58 @@
+// Fulladder: reproduce Section II-A of the paper end to end — take the
+// irreversible augmented full-adder (carry, sum, propagate; Fig. 2(a)),
+// lift it to a reversible specification by adding garbage outputs and a
+// constant input, and synthesize it (the paper's Example 8 / Fig. 8).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	rmrls "repro"
+)
+
+func main() {
+	// The augmented full-adder: 3 inputs (a, b, cin), 3 outputs
+	// (propagate, sum, carry — output 0 is the LSB).
+	adder := &rmrls.TruthTable{Inputs: 3, Outputs: 3, Rows: make([]uint32, 8)}
+	for x := uint32(0); x < 8; x++ {
+		a, b, cin := x&1, x>>1&1, x>>2&1
+		prop := a ^ b
+		sum := a ^ b ^ cin
+		carry := a&b | b&cin | a&cin
+		adder.Rows[x] = carry<<2 | sum<<1 | prop
+	}
+
+	// Two output rows repeat (the † rows of Fig. 2(a)), so one garbage
+	// output and one constant input are required.
+	emb, err := rmrls.Embed(adder)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("embedding: %d wires, %d garbage output(s), %d constant input(s)\n",
+		emb.Wires, emb.GarbageOutputs, emb.ConstantInputs)
+
+	spec := rmrls.Perm(emb.Spec)
+	res, err := rmrls.Synthesize(spec, rmrls.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.Found {
+		log.Fatal("no circuit found")
+	}
+	fmt.Printf("circuit: %s\n", res.Circuit)
+	fmt.Printf("gates: %d (paper's Example 8 circuit: 4)   quantum cost: %d\n",
+		res.Circuit.Len(), res.Circuit.QuantumCost())
+	if err := rmrls.Verify(res.Circuit, spec); err != nil {
+		log.Fatal(err)
+	}
+
+	// Drive the synthesized circuit as a full adder: constant input 0,
+	// original outputs extracted from their wires.
+	fmt.Println("\n a b cin | carry sum prop")
+	for x := uint32(0); x < 8; x++ {
+		y := emb.OriginalOutput(res.Circuit.Apply(x))
+		fmt.Printf(" %d %d  %d  |   %d    %d    %d\n",
+			x&1, x>>1&1, x>>2&1, y>>2&1, y>>1&1, y&1)
+	}
+}

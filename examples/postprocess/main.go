@@ -1,0 +1,67 @@
+// Postprocess: the downstream tool-chain around a synthesized cascade —
+// peephole window optimization ([17]-style local resynthesis), Fredkin
+// recognition (the paper's future-work item), NCT decomposition of large
+// gates (Section II-D macros), and a circuit drawing.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	rmrls "repro"
+)
+
+func main() {
+	// The paper's Example 5: a value swap on four variables.
+	b, err := rmrls.BenchmarkByName("swap4")
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := rmrls.DefaultOptions()
+	opts.TotalSteps = 100000
+	res, err := rmrls.Synthesize(b.Spec, opts)
+	if err != nil || !res.Found {
+		log.Fatalf("synthesis failed: %v %+v", err, res)
+	}
+	c := res.Circuit
+	fmt.Printf("synthesized (%d gates, cost %d):\n  %s\n\n", c.Len(), c.QuantumCost(), c)
+	fmt.Println(c.Diagram())
+
+	// 1. Peephole window optimization against provably minimal
+	//    realizations.
+	po := rmrls.NewPeepholeOptimizer()
+	small := po.Optimize(c)
+	fmt.Printf("\npeephole: %d → %d gates\n", c.Len(), small.Len())
+	if err := rmrls.Verify(small, b.Spec); err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Fredkin recognition: swap-shaped Toffoli triples become single
+	//    controlled-swap gates.
+	mixed := rmrls.RecognizeFredkin(small)
+	fmt.Printf("fredkin form: %d gates (%d fredkin): %s\n",
+		mixed.Len(), mixed.FredkinCount(), mixed)
+
+	// 3. NCT decomposition: every large Toffoli gate becomes a
+	//    borrowed-ancilla network of 3-bit gates. A gate that touches
+	//    every wire is an odd permutation and provably needs an extra
+	//    wire (parity obstruction), so widen the circuit by one idle
+	//    wire first — the standard remedy.
+	wide := &rmrls.Circuit{Wires: small.Wires + 1, Gates: small.Gates}
+	nct, err := rmrls.DecomposeNCT(wide)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("NCT form (+1 ancilla wire): %d gates (largest gate before: %d bits)\n",
+		nct.Len(), small.MaxGateSize())
+	// The widened circuit realizes spec ⊗ identity on the ancilla.
+	widePerm := make(rmrls.Perm, 2*len(b.Spec))
+	for x, y := range b.Spec {
+		widePerm[x] = y
+		widePerm[x+len(b.Spec)] = y + uint32(len(b.Spec))
+	}
+	if err := rmrls.Verify(nct, widePerm); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("all three forms verified equivalent")
+}

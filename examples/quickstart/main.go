@@ -1,0 +1,42 @@
+// Quickstart: synthesize the paper's running example (the Fig. 1
+// reversible function) and print the resulting Toffoli cascade.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	rmrls "repro"
+)
+
+func main() {
+	// A reversible function of three variables, specified as a
+	// permutation of {0,…,7} (the paper's Fig. 1).
+	spec := rmrls.MustParseSpec("{1, 0, 7, 2, 3, 4, 5, 6}")
+
+	// Its canonical positive-polarity Reed–Muller expansion (Eq. 3).
+	pprm, err := rmrls.PPRMOf(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("PPRM expansion:")
+	fmt.Println(pprm)
+
+	// Synthesize a cascade of generalized Toffoli gates.
+	res, err := rmrls.Synthesize(spec, rmrls.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.Found {
+		log.Fatal("no circuit found")
+	}
+	fmt.Printf("\ncircuit: %s\n", res.Circuit)
+	fmt.Printf("gates: %d   quantum cost: %d   search steps: %d\n",
+		res.Circuit.Len(), res.Circuit.QuantumCost(), res.Steps)
+
+	// Every result can be verified by exhaustive simulation.
+	if err := rmrls.Verify(res.Circuit, spec); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("verified: the cascade realizes the specification")
+}

@@ -1,0 +1,57 @@
+// rd53: synthesize the MCNC rd53 benchmark (Example 9 of the paper) — the
+// 3-bit count of ones of five inputs — and compare RMRLS against the
+// transformation-based baseline on gate count and quantum cost.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	rmrls "repro"
+)
+
+func main() {
+	b, err := rmrls.BenchmarkByName("rd53")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %s\n", b.Name, b.Description)
+	fmt.Printf("wires: %d (%d real inputs + %d constants)\n\n",
+		b.Wires, b.RealInputs, b.GarbageInputs)
+
+	// Counting functions like rd53 have elimination plateaus that defeat
+	// any single search configuration; the portfolio (three priority
+	// shapes + iterative tightening) is the robust entry point.
+	opts := rmrls.DefaultOptions()
+	opts.TimeLimit = 60 * time.Second // the paper's per-benchmark limit
+	opts.TotalSteps = 200000
+	opts.ImproveSteps = 30000
+	spec, err := rmrls.PPRMOf(b.Spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := rmrls.SynthesizePortfolio(spec, opts, 4)
+	if !res.Found {
+		log.Fatalf("no circuit found in %v", opts.TimeLimit)
+	}
+	if err := rmrls.Verify(res.Circuit, b.Spec); err != nil {
+		log.Fatal(err)
+	}
+
+	baseline := rmrls.SynthesizeMMD(b.Spec, true)
+
+	fmt.Printf("RMRLS:    %d gates, quantum cost %d (paper: %d gates, cost %d)\n",
+		res.Circuit.Len(), res.Circuit.QuantumCost(), b.PaperGates, b.PaperCost)
+	fmt.Printf("MMD:      %d gates, quantum cost %d\n",
+		baseline.Len(), baseline.QuantumCost())
+	if b.Best != nil {
+		fmt.Printf("best[13]: %d gates, quantum cost %d\n", b.Best.Gates, b.Best.Cost)
+	}
+	fmt.Printf("\ncircuit: %s\n", res.Circuit)
+
+	// Spot-check the semantics the paper quotes: {00101} has two ones.
+	in := uint32(0b00101)
+	out := b.Embedding.OriginalOutput(res.Circuit.Apply(in))
+	fmt.Printf("\ncount of ones in 00101 = %03b (want 010)\n", out)
+}

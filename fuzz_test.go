@@ -1,0 +1,143 @@
+package rmrls
+
+// Native Go fuzz targets for every text-format parser and for the central
+// algebraic invariants. `go test` exercises the seed corpus; `go test
+// -fuzz=FuzzX` explores further.
+
+import (
+	"testing"
+
+	"repro/internal/bits"
+	"repro/internal/esop"
+	"repro/internal/perm"
+	"repro/internal/pprm"
+	"repro/internal/tt"
+)
+
+func FuzzPermParse(f *testing.F) {
+	f.Add("{1, 0, 7, 2, 3, 4, 5, 6}")
+	f.Add("0 1 2 3")
+	f.Add("{}")
+	f.Add("{1,1}")
+	f.Add("{-1, 0}")
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := perm.Parse(s)
+		if err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("Parse accepted an invalid permutation %q: %v", s, err)
+		}
+	})
+}
+
+func FuzzCircuitParse(f *testing.F) {
+	f.Add(3, "TOF1(a) TOF3(c,a,b)")
+	f.Add(2, "TOF2(a,b)")
+	f.Add(4, "TOF4(d,c,b,a)")
+	f.Add(3, "TOF2(a,a)")
+	f.Fuzz(func(t *testing.T, n int, s string) {
+		if n < 1 || n > 8 {
+			return
+		}
+		c, err := ParseCircuit(n, s)
+		if err != nil {
+			return
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("ParseCircuit accepted invalid cascade %q: %v", s, err)
+		}
+		// Round trip through String must preserve the function.
+		back, err := ParseCircuit(n, c.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q failed: %v", c.String(), err)
+		}
+		if !back.Perm().Equal(c.Perm()) {
+			t.Fatalf("round trip changed function for %q", s)
+		}
+	})
+}
+
+func FuzzPPRMParse(f *testing.F) {
+	f.Add(2, "a' = a ^ 1\nb' = b")
+	f.Add(3, "a' = a\nb' = b ^ ac\nc' = c")
+	f.Add(2, "a = 1 + a\nb = ab")
+	f.Fuzz(func(t *testing.T, n int, s string) {
+		if n < 1 || n > 6 {
+			return
+		}
+		spec, err := pprm.Parse(n, s)
+		if err != nil {
+			return
+		}
+		// String → Parse must reproduce the expansion.
+		back, err := pprm.Parse(n, spec.String())
+		if err != nil {
+			t.Fatalf("re-parse of valid spec failed: %v", err)
+		}
+		if !back.Equal(spec) {
+			t.Fatalf("round trip changed expansion for %q", s)
+		}
+	})
+}
+
+func FuzzPLAParse(f *testing.F) {
+	f.Add(".i 2\n.o 1\n01 1\n.e")
+	f.Add(".i 3\n.o 2\n1-1 10\n000 01\n.e")
+	f.Add(".i 1\n.o 1\n0 1\n1 0")
+	f.Fuzz(func(t *testing.T, s string) {
+		tab, err := tt.ParsePLA(s)
+		if err != nil {
+			return
+		}
+		if err := tab.Validate(); err != nil {
+			t.Fatalf("ParsePLA accepted an invalid table: %v", err)
+		}
+		if _, err := tt.Embed(tab); err != nil {
+			t.Fatalf("valid PLA table failed to embed: %v", err)
+		}
+	})
+}
+
+func FuzzCubeParse(f *testing.F) {
+	f.Add("aB")
+	f.Add("1")
+	f.Add("abc")
+	f.Fuzz(func(t *testing.T, s string) {
+		c, err := esop.ParseCube(s)
+		if err != nil {
+			return
+		}
+		back, err := esop.ParseCube(c.String())
+		if err != nil || back != c {
+			t.Fatalf("cube round trip broken for %q", s)
+		}
+	})
+}
+
+func FuzzSubstituteInvariants(f *testing.F) {
+	f.Add(uint64(1), uint8(3), uint8(0), uint16(2))
+	f.Add(uint64(7), uint8(4), uint8(2), uint16(9))
+	f.Fuzz(func(t *testing.T, seed uint64, vars, target uint8, factorBits uint16) {
+		n := int(vars%5) + 1
+		tgt := int(target) % n
+		factor := bits.Mask(factorBits) & (1<<uint(n) - 1) &^ bits.Bit(tgt)
+		p := RandomFunction(n, seed)
+		spec, err := pprm.FromPerm(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := spec.Terms()
+		d1 := spec.Substitute(tgt, factor)
+		if spec.Terms() != before+d1 {
+			t.Fatal("delta does not match term count")
+		}
+		d2 := spec.Substitute(tgt, factor)
+		if d1+d2 != 0 {
+			t.Fatal("substitution is not an involution")
+		}
+		if !spec.ToPerm().Equal(p) {
+			t.Fatal("double substitution changed the function")
+		}
+	})
+}

@@ -1,0 +1,67 @@
+package circuit
+
+import (
+	"strings"
+
+	"repro/internal/bits"
+)
+
+// Diagram renders the cascade in the paper's circuit-drawing style
+// (Figs. 3, 7, 8): one horizontal line per wire, inputs on the left, with
+// ● for control bits, ⊕ for target bits, and │ joining the wires a gate
+// spans. For the Fig. 1 circuit the output is:
+//
+//	a ─⊕──●──●─
+//	b ────⊕──│─
+//	c ────●──⊕─   (controls/targets per gate column)
+func (c *Circuit) Diagram() string {
+	rows := make([][]rune, c.Wires)
+	for w := range rows {
+		rows[w] = append(rows[w], []rune(bits.VarName(w)+" ─")...)
+	}
+	// Wire-name widths differ once past "z"; pad to align.
+	width := 0
+	for w := range rows {
+		if len(rows[w]) > width {
+			width = len(rows[w])
+		}
+	}
+	for w := range rows {
+		for len(rows[w]) < width {
+			rows[w] = append(rows[w], '─')
+		}
+	}
+	for _, g := range c.Gates {
+		lo, hi := g.Target, g.Target
+		for _, v := range bits.Vars(g.Controls) {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		for w := 0; w < c.Wires; w++ {
+			var r rune
+			switch {
+			case w == g.Target:
+				r = '⊕'
+			case bits.Has(g.Controls, w):
+				r = '●'
+			case w > lo && w < hi:
+				r = '│'
+			default:
+				r = '─'
+			}
+			rows[w] = append(rows[w], r, '─', '─')
+		}
+	}
+	var b strings.Builder
+	for w, row := range rows {
+		if w > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(strings.TrimRight(string(row), " "))
+	}
+	return b.String()
+}

@@ -1,0 +1,44 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDiagramFig3d(t *testing.T) {
+	c, err := Parse(3, "TOF1(a) TOF3(c,a,b) TOF3(b,a,c)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := c.Diagram()
+	lines := strings.Split(d, "\n")
+	if len(lines) != 3 {
+		t.Fatalf("diagram has %d lines, want 3:\n%s", len(lines), d)
+	}
+	// Every line must have the same rune length.
+	l0 := len([]rune(lines[0]))
+	for _, l := range lines {
+		if len([]rune(l)) != l0 {
+			t.Errorf("ragged diagram:\n%s", d)
+		}
+	}
+	// Gate 1: NOT on a → ⊕ on line a, plain wires elsewhere in column 1.
+	if !strings.Contains(lines[0], "⊕") {
+		t.Errorf("wire a missing targets:\n%s", d)
+	}
+	if strings.Count(d, "⊕") != 3 {
+		t.Errorf("want 3 targets, got %d:\n%s", strings.Count(d, "⊕"), d)
+	}
+	if strings.Count(d, "●") != 4 {
+		t.Errorf("want 4 controls, got %d:\n%s", strings.Count(d, "●"), d)
+	}
+}
+
+func TestDiagramSpansGap(t *testing.T) {
+	// A gate with control a and target c must bridge wire b with │.
+	c, _ := Parse(3, "TOF2(a,c)")
+	d := c.Diagram()
+	if !strings.Contains(strings.Split(d, "\n")[1], "│") {
+		t.Errorf("gap wire not bridged:\n%s", d)
+	}
+}

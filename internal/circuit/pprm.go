@@ -1,0 +1,23 @@
+package circuit
+
+import "repro/internal/pprm"
+
+// PPRM returns the positive-polarity Reed–Muller expansion of the function
+// the cascade realizes, computed symbolically: gate k with target t and
+// controls F corresponds to the substitution v_t = v_t ⊕ F, and the
+// expansion of a cascade G1…Gk is obtained by substituting Gk, …, G1 (in
+// reverse circuit order) into the identity expansion — each substitution is
+// an involution, and substituting G1 into the cascade's expansion yields
+// the expansion of G2…Gk.
+//
+// Unlike pprm.FromPerm this never touches a truth table, so it works for
+// circuits far beyond exhaustive-simulation width (e.g. the 30-wire shift28
+// benchmark) in time proportional to the expansion size.
+func (c *Circuit) PPRM() *pprm.Spec {
+	spec := pprm.Identity(c.Wires)
+	for i := len(c.Gates) - 1; i >= 0; i-- {
+		g := c.Gates[i]
+		spec.Substitute(g.Target, g.Controls)
+	}
+	return spec
+}

@@ -1,0 +1,67 @@
+package circuit
+
+// Peephole simplification. The paper applies no template post-processing to
+// its own results (it cites the template tools of Maslov et al. as separate
+// work), but notes that synthesized cascades frequently contain adjacent
+// sequences that cancel. This file provides the two cheapest, always-sound
+// local rules as an optional extension:
+//
+//  1. deletion: two identical adjacent gates cancel (every Toffoli gate is
+//     self-inverse);
+//  2. commutation: two adjacent gates g1, g2 may be swapped when doing so
+//     does not change the function, which holds when neither gate's target
+//     is a control of the other, or both rules below apply trivially
+//     (same target). Moving gates lets rule 1 fire across distance.
+//
+// Full template matching (Maslov/Dueck/Miller 2003) is beyond what the
+// paper's own numbers include, so it is intentionally out of scope.
+
+// commutes reports whether adjacent gates a and b can be exchanged without
+// changing the circuit function. Two Toffoli gates commute when neither
+// one's target wire is among the other's controls; they also commute when
+// they share the same target (both just XOR products into that wire).
+func commutes(a, b Gate) bool {
+	if a.Target == b.Target {
+		return true
+	}
+	if b.Controls&(1<<uint(a.Target)) != 0 {
+		return false
+	}
+	if a.Controls&(1<<uint(b.Target)) != 0 {
+		return false
+	}
+	return true
+}
+
+// Simplify repeatedly cancels equal adjacent gates, sliding gates past
+// commuting neighbours to expose cancellations, until no rule applies. It
+// returns a new circuit computing the same function with at most as many
+// gates.
+func (c *Circuit) Simplify() *Circuit {
+	gates := append([]Gate(nil), c.Gates...)
+	changed := true
+	for changed {
+		changed = false
+		for i := 0; i < len(gates); i++ {
+			// Look ahead for a cancelling twin reachable through a
+			// commuting window.
+			for j := i + 1; j < len(gates); j++ {
+				if gates[i] == gates[j] {
+					gates = append(gates[:j], gates[j+1:]...)
+					gates = append(gates[:i], gates[i+1:]...)
+					changed = true
+					break
+				}
+				if !commutes(gates[i], gates[j]) {
+					break
+				}
+			}
+			if changed {
+				break
+			}
+		}
+	}
+	out := New(c.Wires)
+	out.Gates = gates
+	return out
+}

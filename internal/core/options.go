@@ -1,0 +1,234 @@
+// Package core implements RMRLS, the paper's Reed–Muller reversible logic
+// synthesis algorithm (Section IV): a priority-queue search over PPRM
+// substitutions v_i = v_i ⊕ factor, each of which becomes one generalized
+// Toffoli gate in the synthesized cascade.
+package core
+
+import (
+	"time"
+
+	"repro/internal/circuit"
+)
+
+// Options configures a synthesis run. The zero value requests the basic
+// algorithm of Fig. 4 with the paper's priority weights and no resource
+// limits; DefaultOptions returns the configuration matching the paper's
+// experimental setup (additional substitutions, greedy pruning, restarts).
+type Options struct {
+	// Library selects the target gate library. GT (the default) allows
+	// any generalized Toffoli gate; NCT restricts candidate factors to at
+	// most two literals so every gate is a NOT, CNOT, or 3-bit Toffoli.
+	Library circuit.Library
+
+	// MaxGates bounds the synthesized circuit size (the paper's
+	// "maximum circuit size" option: 40 for 4-variable runs, 60 for
+	// 5-variable runs). 0 means unbounded.
+	MaxGates int
+
+	// TimeLimit aborts the search after the given wall-clock duration
+	// (the paper's per-function synthesis timer). 0 means no limit.
+	TimeLimit time.Duration
+
+	// MaxSteps is the restart heuristic of Section IV-E: if no solution
+	// has been found after this many node expansions, the search restarts
+	// from the first level of the tree with a different first
+	// substitution. 0 disables restarts.
+	MaxSteps int
+
+	// TotalSteps bounds the total number of node expansions across all
+	// restarts, making a run's work deterministic regardless of machine
+	// speed. The experiment drivers use it as the reproducible stand-in
+	// for the paper's wall-clock limits. 0 means unbounded.
+	TotalSteps int
+
+	// MaxRestarts bounds how many alternative first-level substitutions
+	// the restart heuristic tries. 0 means "all of them".
+	MaxRestarts int
+
+	// GreedyK enables the greedy pruning heuristic of Section IV-E: only
+	// the best K substitutions per input variable are queued at each
+	// node. 0 keeps every substitution (the basic algorithm). The paper
+	// uses K in 3–5.
+	GreedyK int
+
+	// Additional enables the additional substitution types of Section
+	// IV-D: factors from v_out,i even when the bare term v_i is absent,
+	// and the unconditional substitution v_i = v_i ⊕ 1.
+	Additional bool
+
+	// Alpha, Beta, Gamma are the priority weights of Eq. (4). All-zero
+	// selects the paper's tuned values 0.3, 0.6, 0.1.
+	Alpha, Beta, Gamma float64
+
+	// Admission selects the queue-admission rule; see the Admission
+	// constants and DESIGN.md.
+	Admission Admission
+
+	// GrowthSlack is the term-count headroom of AdmitBounded: children
+	// whose expansion exceeds the original size by more than this are
+	// pruned. 0 selects the default of 2 (wire swaps need ≥ 1).
+	GrowthSlack int
+
+	// LinearElim replaces Eq. (4)'s β·elim/depth term with β·elim,
+	// turning the priority into the A*-style objective
+	// α·depth + β·elim − γ·literals. With negative α this orders nodes
+	// by net progress minus a per-gate charge, which keeps productive
+	// deep paths ahead of the exponentially many shallow siblings — the
+	// property the published form lacks (its priority declines along
+	// every path, collapsing deep searches into breadth-first floods;
+	// see DESIGN.md). Required in practice for functions needing more
+	// than ~20 gates.
+	LinearElim bool
+
+	// PerStepElim selects the literal pseudocode reading of Eq. (4),
+	// where elim is parent.terms − child.terms. The default (false) uses
+	// the cumulative reading — terms eliminated relative to the original
+	// expansion, averaged per stage — which matches the paper's own
+	// Fig. 5 walkthrough (see DESIGN.md).
+	PerStepElim bool
+
+	// FirstSolution stops the search at the first solution found instead
+	// of continuing to improve it. The paper's scalability experiments
+	// (Tables V–VII) use exactly this mode: "As soon as a solution was
+	// found, we chose to move on to the next example."
+	FirstSolution bool
+
+	// ImproveSteps bounds how many further node expansions are spent
+	// improving the solution after the first one is found. 0 means
+	// unbounded (run until the queue empties or another limit fires).
+	ImproveSteps int
+
+	// MaxQueue bounds the number of queued nodes; when exceeded, the
+	// lowest-priority half is discarded. This stands in for the paper's
+	// 768-MB memory ceiling. 0 selects a generous default.
+	MaxQueue int
+
+	// Trace, when non-nil, receives an event for every node push, pop,
+	// and solution. Used to reproduce the Fig. 5 search walkthrough.
+	Trace func(Event)
+}
+
+// Admission is the rule deciding which child nodes enter the priority
+// queue. The paper is internally inconsistent here: Fig. 4 line 31 demands a
+// strictly decreasing term count ("childNode.elim > 0"), but the Fig. 5
+// walkthrough queues a node whose substitution *increases* the count, the
+// convergence proof states that all candidates are queued, and Table I
+// reports success on functions (wire swaps among them) for which every
+// synthesis path must pass through states with more terms than both the
+// initial and final expansions.
+//
+// AdmitBounded, the default, reconciles all three: a child is queued when
+// its expansion has grown by at most GrowthSlack terms over the original
+// one, or when it strictly shrinks its parent (recovery moves are always
+// worth keeping). It admits every node the Fig. 5 walkthrough queues,
+// synthesizes the swap-like functions the strict rules provably cannot,
+// and still prunes the unproductive branches that make an admit-everything
+// search degenerate into blind depth-first descent. The remaining modes
+// implement the stricter textual readings and the proof's admit-everything
+// reading for ablation.
+type Admission int
+
+const (
+	// AdmitBounded queues a child iff
+	// terms ≤ initTerms + GrowthSlack or terms < parent.terms.
+	AdmitBounded Admission = iota
+	// AdmitAll queues every legal candidate; Eq. (4) alone ranks them
+	// (the convergence proof's reading).
+	AdmitAll
+	// AdmitCumulative queues a child only when its expansion is smaller
+	// than the original one (matches the Fig. 5 numbers exactly).
+	AdmitCumulative
+	// AdmitPerStep is the literal Fig. 4 line 31: a child must have
+	// strictly fewer terms than its parent. The v_i = v_i ⊕ 1
+	// substitution is exempt (Section IV-D) in the strict modes.
+	AdmitPerStep
+)
+
+func (a Admission) String() string {
+	switch a {
+	case AdmitAll:
+		return "all"
+	case AdmitCumulative:
+		return "cumulative"
+	case AdmitPerStep:
+		return "per-step"
+	default:
+		return "bounded"
+	}
+}
+
+// DefaultOptions returns the configuration matching the paper's
+// experimental setup — additional substitutions on, greedy pruning with
+// k = 4, restarts after 10 000 fruitless expansions — with one empirically
+// forced change: the priority is the A*-style linear objective
+// 0.6·elim − 0.6·depth − 0.1·literals instead of Eq. (4)'s published
+// 0.3·depth + 0.6·elim/depth − 0.1·literals. With the published form every
+// path's priority decays toward α·depth, deep garbage outranks shallow
+// promise, and the search reproduces almost none of the paper's reported
+// capability (see DESIGN.md, deviation 3, and the BenchmarkAblationWeights
+// benches). BasicOptions keeps the published form.
+// It also bounds the post-solution improvement phase (the paper bounds it
+// with its wall-clock timer; draining the whole queue below the best depth
+// can take orders of magnitude longer than finding the solution). Set
+// ImproveSteps to 0 explicitly for an exhaustive improvement phase.
+func DefaultOptions() Options {
+	return Options{
+		Additional:   true,
+		GreedyK:      4,
+		MaxSteps:     10000,
+		ImproveSteps: 20000,
+		Alpha:        -0.6,
+		Beta:         0.6,
+		Gamma:        0.1,
+		LinearElim:   true,
+	}
+}
+
+// BasicOptions returns the basic algorithm of Fig. 4 without the Section
+// IV-E heuristics (complete given enough time and memory, practical only up
+// to about five variables).
+func BasicOptions() Options {
+	return Options{}
+}
+
+func (o *Options) weights() (a, b, g float64) {
+	if o.Alpha == 0 && o.Beta == 0 && o.Gamma == 0 {
+		return 0.3, 0.6, 0.1
+	}
+	return o.Alpha, o.Beta, o.Gamma
+}
+
+func (o *Options) maxQueue() int {
+	if o.MaxQueue > 0 {
+		return o.MaxQueue
+	}
+	return 1 << 18
+}
+
+// EventKind distinguishes search-trace events.
+type EventKind int
+
+const (
+	// EventPush fires when a node is inserted into the priority queue.
+	EventPush EventKind = iota
+	// EventPop fires when a node is removed for expansion.
+	EventPop
+	// EventSolution fires when a node completes a circuit better than
+	// the best known one.
+	EventSolution
+	// EventRestart fires when the restart heuristic reseeds the queue.
+	EventRestart
+)
+
+// Event is one step of the search trace.
+type Event struct {
+	Kind     EventKind
+	ID       int     // node id (0 = root, then creation order)
+	Parent   int     // parent node id (-1 for root)
+	Depth    int     // gates on the path from the root
+	Target   int     // substitution target variable (-1 for root)
+	Factor   uint32  // substitution factor mask
+	Terms    int     // terms in the node's PPRM expansion
+	Elim     int     // terms eliminated by the node's substitution
+	Priority float64 // queue priority
+}

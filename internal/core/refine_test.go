@@ -1,0 +1,100 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/perm"
+	"repro/internal/pprm"
+	"repro/internal/rng"
+)
+
+func TestIterativeNeverWorse(t *testing.T) {
+	src := rng.New(55)
+	for trial := 0; trial < 15; trial++ {
+		p := perm.Random(4, src)
+		spec, err := pprm.FromPerm(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := DefaultOptions()
+		opts.TotalSteps = 20000
+		opts.ImproveSteps = 2000
+		base := Synthesize(spec, opts)
+		iter := SynthesizeIterative(spec, opts, 3)
+		if base.Found != iter.Found {
+			t.Fatalf("trial %d: found mismatch base=%v iter=%v", trial, base.Found, iter.Found)
+		}
+		if !base.Found {
+			continue
+		}
+		if iter.Circuit.Len() > base.Circuit.Len() {
+			t.Errorf("trial %d: tightening grew the circuit %d → %d",
+				trial, base.Circuit.Len(), iter.Circuit.Len())
+		}
+		if err := Verify(iter.Circuit, p); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestIterativeOnUnsolvable(t *testing.T) {
+	spec, _ := pprm.Parse(2, "a' = b\nb' = b")
+	opts := DefaultOptions()
+	opts.TotalSteps = 5000
+	opts.MaxGates = 8
+	if res := SynthesizeIterative(spec, opts, 3); res.Found {
+		t.Error("iterative found a circuit for a non-reversible spec")
+	}
+}
+
+func TestPortfolioSolvesPlateauFunction(t *testing.T) {
+	// rd53-like counting functions defeat the default charge but not the
+	// portfolio; use a small weight-counting embedding that exhibits the
+	// same plateau structure.
+	p := perm.Random(4, rng.New(4242))
+	spec, _ := pprm.FromPerm(p)
+	opts := DefaultOptions()
+	opts.TotalSteps = 30000
+	opts.ImproveSteps = 3000
+	res := SynthesizePortfolio(spec, opts, 2)
+	if !res.Found {
+		t.Fatal("portfolio failed on a random 4-variable function")
+	}
+	if err := Verify(res.Circuit, p); err != nil {
+		t.Error(err)
+	}
+	// Portfolio accounting must reflect all variants.
+	single := Synthesize(spec, opts)
+	if res.Steps <= single.Steps {
+		t.Errorf("portfolio steps (%d) should exceed a single run's (%d)", res.Steps, single.Steps)
+	}
+}
+
+func TestPortfolioQualityAtLeastSingle(t *testing.T) {
+	src := rng.New(77)
+	for trial := 0; trial < 8; trial++ {
+		p := perm.Random(4, src)
+		spec, _ := pprm.FromPerm(p)
+		opts := DefaultOptions()
+		opts.TotalSteps = 15000
+		opts.ImproveSteps = 1500
+		single := Synthesize(spec, opts)
+		port := SynthesizePortfolio(spec, opts, 2)
+		if single.Found && (!port.Found || port.Circuit.Len() > single.Circuit.Len()) {
+			t.Errorf("trial %d: portfolio worse than single run (%v/%d vs %v/%d)",
+				trial, port.Found, gateLen(port), single.Found, single.Circuit.Len())
+		}
+		if port.Found {
+			if err := Verify(port.Circuit, p); err != nil {
+				t.Error(err)
+			}
+		}
+	}
+}
+
+func gateLen(r Result) int {
+	if r.Circuit == nil {
+		return -1
+	}
+	return r.Circuit.Len()
+}

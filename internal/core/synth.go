@@ -1,0 +1,478 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"sort"
+	"time"
+
+	"repro/internal/bits"
+	"repro/internal/circuit"
+	"repro/internal/perm"
+	"repro/internal/pprm"
+	"repro/internal/queue"
+)
+
+// Result reports the outcome of a synthesis run.
+type Result struct {
+	// Circuit is the best cascade found (nil when Found is false). Gates
+	// appear in input→output order; gate k realizes the k-th substitution
+	// on the path from the search-tree root to the best solution node.
+	Circuit *circuit.Circuit
+	// Found reports whether any solution was found within the limits.
+	Found bool
+	// Steps is the number of node expansions (priority-queue pops).
+	Steps int
+	// Nodes is the number of search-tree nodes materialized.
+	Nodes int
+	// Restarts is how many times the restart heuristic fired.
+	Restarts int
+	// Elapsed is the wall-clock synthesis time.
+	Elapsed time.Duration
+}
+
+// Synthesize runs the RMRLS search on a PPRM expansion and returns the best
+// Toffoli cascade found. The input Spec is not modified.
+func Synthesize(spec *pprm.Spec, opts Options) Result {
+	s := newSearcher(spec, opts)
+	return s.run()
+}
+
+// SynthesizePerm synthesizes a reversible function given as a permutation:
+// it computes the canonical PPRM expansion and searches. The error is
+// non-nil only if p is not a valid reversible function.
+func SynthesizePerm(p perm.Perm, opts Options) (Result, error) {
+	spec, err := pprm.FromPerm(p)
+	if err != nil {
+		return Result{}, err
+	}
+	return Synthesize(spec, opts), nil
+}
+
+// node is one vertex of the search tree. Interior nodes keep only the
+// substitution that created them (the paper's memory optimization); the
+// PPRM expansion is held only while the node waits in the priority queue
+// and is released on expansion.
+type node struct {
+	parent   *node
+	spec     *pprm.Spec
+	id       int
+	target   int
+	factor   bits.Mask
+	depth    int
+	terms    int
+	elim     int // per-step: parent.terms − terms
+	priority float64
+}
+
+type searcher struct {
+	opts               Options
+	alpha, beta, gamma float64
+	n                  int
+	initTerms          int
+	pq                 queue.Queue[*node]
+	root               *node
+	bestDepth          int
+	bestSol            *node
+	steps              int
+	stepsSinceRestart  int
+	solSteps           int
+	nodes              int
+	restarts           int
+	firstMoves         []firstMove
+	nextFirstMove      int
+	deadline           time.Time
+	hasDeadline        bool
+	maxGates           int
+	sortBuf            []scored
+	factorBuf          []bits.Mask
+	deltaBuf           []bits.Mask
+}
+
+type firstMove struct {
+	target   int
+	factor   bits.Mask
+	priority float64
+}
+
+type scored struct {
+	factor   bits.Mask
+	terms    int
+	elim     int
+	priority float64
+	admit    bool
+}
+
+func newSearcher(spec *pprm.Spec, opts Options) *searcher {
+	s := &searcher{opts: opts, n: spec.N}
+	s.alpha, s.beta, s.gamma = opts.weights()
+	s.initTerms = spec.Terms()
+	s.maxGates = opts.MaxGates
+	if s.maxGates <= 0 {
+		// Under AdmitAll the priority's α·depth term favors depth-first
+		// descent, so an unbounded search could dive forever down a
+		// fruitless path. Cap the depth generously: no function in the
+		// paper's entire evaluation needs more than 2^(n+1) gates.
+		s.maxGates = 1 << uint(min(spec.N+1, 12))
+	}
+	s.bestDepth = s.maxGates + 1
+	s.root = &node{
+		parent:   nil,
+		spec:     spec.Clone(),
+		id:       0,
+		target:   -1,
+		depth:    0,
+		terms:    s.initTerms,
+		priority: math.Inf(1),
+	}
+	s.nodes = 1
+	if opts.TimeLimit > 0 {
+		s.deadline = time.Now().Add(opts.TimeLimit)
+		s.hasDeadline = true
+	}
+	return s
+}
+
+func (s *searcher) run() Result {
+	start := time.Now()
+	if s.root.spec.IsIdentity() {
+		return Result{Circuit: circuit.New(s.n), Found: true, Nodes: 1, Elapsed: time.Since(start)}
+	}
+	s.emit(EventPush, s.root)
+	s.pq.Push(s.root, s.root.priority)
+
+	for {
+		if s.hasDeadline && s.steps&15 == 0 && time.Now().After(s.deadline) {
+			break
+		}
+		if s.opts.TotalSteps > 0 && s.steps >= s.opts.TotalSteps {
+			break
+		}
+		if s.bestSol != nil {
+			if s.opts.FirstSolution {
+				break
+			}
+			if s.opts.ImproveSteps > 0 && s.steps-s.solSteps >= s.opts.ImproveSteps {
+				break
+			}
+		}
+		if s.opts.MaxSteps > 0 && s.stepsSinceRestart >= s.opts.MaxSteps && s.bestSol == nil {
+			if !s.restart() {
+				break
+			}
+		}
+		parent, ok := s.pq.Pop()
+		if !ok {
+			if s.bestSol == nil && s.restart() {
+				continue
+			}
+			break
+		}
+		s.steps++
+		s.stepsSinceRestart++
+		s.emit(EventPop, parent)
+		// A node this deep cannot lead to a circuit better than the best
+		// already found (its children would need depth ≥ bestDepth).
+		if parent.depth >= s.bestDepth-1 {
+			continue
+		}
+		if parent.spec == nil {
+			// Lazy materialization (the paper's memory optimization, one
+			// step further: queued nodes store only their substitution).
+			// The parent chain keeps expansions alive, so one
+			// copy-on-write substitution reconstructs this node's.
+			parent.spec, _ = parent.parent.spec.SubstituteCopy(parent.target, parent.factor)
+		}
+		s.expand(parent)
+		if s.pq.Len() > s.opts.maxQueue() {
+			s.pq.PruneTo(s.opts.maxQueue() / 2)
+		}
+	}
+
+	res := Result{
+		Steps:    s.steps,
+		Nodes:    s.nodes,
+		Restarts: s.restarts,
+		Elapsed:  time.Since(start),
+	}
+	if s.bestSol != nil {
+		res.Found = true
+		res.Circuit = s.extract(s.bestSol)
+	}
+	return res
+}
+
+// restart implements the Section IV-E heuristic: abandon the current
+// search frontier and re-enter the tree through the next-best untried
+// first-level substitution.
+func (s *searcher) restart() bool {
+	if s.opts.MaxSteps <= 0 {
+		return false
+	}
+	if s.opts.MaxRestarts > 0 && s.restarts >= s.opts.MaxRestarts {
+		return false
+	}
+	if s.nextFirstMove >= len(s.firstMoves) {
+		return false
+	}
+	fm := s.firstMoves[s.nextFirstMove]
+	s.nextFirstMove++
+	s.restarts++
+	s.stepsSinceRestart = 0
+	s.pq.Clear()
+
+	cs, delta := s.root.spec.SubstituteCopy(fm.target, fm.factor)
+	child := &node{
+		parent: s.root,
+		spec:   cs,
+		id:     s.nodes,
+		target: fm.target,
+		factor: fm.factor,
+		depth:  1,
+		terms:  s.root.terms + delta,
+		elim:   -delta,
+	}
+	s.nodes++
+	child.priority = s.priorityOf(child)
+	s.emit(EventRestart, child)
+	s.emit(EventPush, child)
+	s.pq.Push(child, child.priority)
+	return true
+}
+
+func (s *searcher) priorityOf(c *node) float64 {
+	return s.priority(c.depth, c.terms, c.elim, c.factor)
+}
+
+// priority evaluates Eq. (4) (or its linear variant) for a node at the
+// given depth with the given expansion size.
+func (s *searcher) priority(depth, terms, elimStep int, factor bits.Mask) float64 {
+	elim := s.initTerms - terms
+	if s.opts.PerStepElim {
+		elim = elimStep
+	}
+	d := float64(depth)
+	b := float64(elim)
+	if !s.opts.LinearElim {
+		b /= d
+	}
+	return s.alpha*d + s.beta*b - s.gamma*float64(bits.Count(factor))
+}
+
+// expand generates, scores, prunes, and queues the children of parent
+// (lines 18–33 of Fig. 4 plus the Section IV-D/E extensions).
+func (s *searcher) expand(parent *node) {
+	spec := parent.spec
+	isRoot := parent.depth == 0
+	for target := 0; target < s.n; target++ {
+		factors := s.factorsFor(spec, target)
+		if len(factors) == 0 {
+			continue
+		}
+		cands := s.sortBuf[:0]
+		for _, f := range factors {
+			// Re-applying the parent's own substitution would cancel it:
+			// two identical adjacent Toffoli gates are the identity.
+			if target == parent.target && f == parent.factor {
+				continue
+			}
+			var delta int
+			delta, s.deltaBuf = spec.SubstituteDelta(target, f, s.deltaBuf)
+			childTerms := parent.terms + delta
+			cands = append(cands, scored{
+				factor: f,
+				terms:  childTerms,
+				elim:   -delta,
+				admit:  s.admit(f, childTerms, -delta),
+			})
+		}
+		childDepth := parent.depth + 1
+		for i := range cands {
+			c := &cands[i]
+			c.priority = s.priority(childDepth, c.terms, c.elim, c.factor)
+		}
+		slices.SortStableFunc(cands, func(a, b scored) int {
+			switch {
+			case a.priority > b.priority:
+				return -1
+			case a.priority < b.priority:
+				return 1
+			default:
+				return 0
+			}
+		})
+
+		pushed := 0
+		for i := range cands {
+			c := &cands[i]
+			// A child can only be the identity (a solution) if it has
+			// exactly one term per output; anything else is checked only
+			// if it survives greedy pruning and admission.
+			solutionPossible := c.terms == s.n
+			inTopK := c.admit && (s.opts.GreedyK <= 0 || pushed < s.opts.GreedyK)
+			if !inTopK && !solutionPossible {
+				continue
+			}
+			if !solutionPossible && childDepth >= s.bestDepth-1 {
+				// Cannot beat the best circuit (paper: "their children
+				// are not added to the queue").
+				continue
+			}
+			// Children are materialized lazily: the expansion is derived
+			// from the parent's (still resident, copy-on-write shared)
+			// expansion only when the child is popped — most queued nodes
+			// never are. Solution candidates are the exception: they must
+			// be checked now.
+			child := &node{
+				parent:   parent,
+				id:       s.nodes,
+				target:   target,
+				factor:   c.factor,
+				depth:    childDepth,
+				terms:    c.terms,
+				elim:     c.elim,
+				priority: c.priority,
+			}
+			s.nodes++
+			if solutionPossible {
+				cs, _ := spec.SubstituteCopy(target, c.factor)
+				if cs.IsIdentity() {
+					if childDepth < s.bestDepth {
+						s.bestDepth = childDepth
+						s.bestSol = child
+						s.solSteps = s.steps
+						s.emit(EventSolution, child)
+					}
+					continue
+				}
+				child.spec = cs
+			}
+			if !inTopK || childDepth >= s.bestDepth-1 {
+				continue
+			}
+			pushed++
+			if isRoot {
+				s.firstMoves = append(s.firstMoves, firstMove{
+					target: target, factor: c.factor, priority: c.priority,
+				})
+			}
+			s.emit(EventPush, child)
+			s.pq.Push(child, child.priority)
+		}
+		s.sortBuf = cands[:0]
+	}
+	if isRoot {
+		// Restarts try alternative first substitutions in decreasing
+		// attractiveness; index 0 is the path the initial search follows.
+		sort.SliceStable(s.firstMoves, func(i, j int) bool {
+			return s.firstMoves[i].priority > s.firstMoves[j].priority
+		})
+		s.nextFirstMove = 1
+	}
+}
+
+// admit implements the queue-admission rule (see the Admission type). The
+// strict modes keep the Section IV-D exception for v_i = v_i ⊕ 1, which may
+// always increase the term count; AdmitBounded subjects it to the same
+// growth bound as every other substitution (documented deviation: an
+// unconditioned exception re-opens the blind-descent pathology the bound
+// exists to prevent).
+func (s *searcher) admit(factor bits.Mask, childTerms, elimStep int) bool {
+	switch s.opts.Admission {
+	case AdmitAll:
+		return true
+	case AdmitCumulative:
+		return (factor == 0 && s.opts.Additional) || s.initTerms-childTerms > 0
+	case AdmitPerStep:
+		return (factor == 0 && s.opts.Additional) || elimStep > 0
+	default:
+		slack := s.opts.GrowthSlack
+		if slack <= 0 {
+			slack = 2
+		}
+		return childTerms <= s.initTerms+slack || elimStep > 0
+	}
+}
+
+// factorsFor enumerates the candidate factors for substitutions targeting
+// the given variable, in a deterministic order. In the basic algorithm
+// (Section IV-A) the bare term v_i must be present in the expansion of
+// v_out,i; the additional substitutions (Section IV-D) drop that
+// requirement and always offer the constant factor 1.
+func (s *searcher) factorsFor(spec *pprm.Spec, target int) []bits.Mask {
+	out := &spec.Out[target]
+	tb := bits.Bit(target)
+	factors := s.factorBuf[:0]
+	bare := out.Has(tb)
+	sawConst := false
+	if bare || s.opts.Additional {
+		for _, t := range out.Sorted() {
+			if t&tb != 0 {
+				continue
+			}
+			if s.opts.Library == circuit.NCT && bits.Count(t) > 2 {
+				continue
+			}
+			if t == 0 {
+				sawConst = true
+			}
+			factors = append(factors, t)
+		}
+	}
+	if s.opts.Additional && !sawConst {
+		factors = append(factors, 0)
+	}
+	s.factorBuf = factors[:0]
+	return factors
+}
+
+// extract rebuilds the Toffoli cascade from the solution node: the path
+// from the root to the solution lists the substitutions in circuit order
+// (first substitution = gate nearest the inputs).
+func (s *searcher) extract(sol *node) *circuit.Circuit {
+	gates := make([]circuit.Gate, sol.depth)
+	for n := sol; n.parent != nil; n = n.parent {
+		gates[n.depth-1] = circuit.Gate{Target: n.target, Controls: n.factor}
+	}
+	c := circuit.New(s.n)
+	c.Gates = gates
+	return c
+}
+
+func (s *searcher) emit(kind EventKind, n *node) {
+	if s.opts.Trace == nil {
+		return
+	}
+	parentID := -1
+	if n.parent != nil {
+		parentID = n.parent.id
+	}
+	s.emit0(Event{
+		Kind:     kind,
+		ID:       n.id,
+		Parent:   parentID,
+		Depth:    n.depth,
+		Target:   n.target,
+		Factor:   n.factor,
+		Terms:    n.terms,
+		Elim:     n.elim,
+		Priority: n.priority,
+	})
+}
+
+func (s *searcher) emit0(e Event) { s.opts.Trace(e) }
+
+// Verify checks that the circuit realizes the reversible function p,
+// returning a descriptive error on mismatch. Every experiment driver calls
+// it before reporting a result.
+func Verify(c *circuit.Circuit, p perm.Perm) error {
+	if c == nil {
+		return fmt.Errorf("core: nil circuit")
+	}
+	got := c.Perm()
+	if !got.Equal(p) {
+		return fmt.Errorf("core: circuit %s realizes %s, want %s", c, got, p)
+	}
+	return nil
+}

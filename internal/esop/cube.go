@@ -1,0 +1,86 @@
+// Package esop implements EXOR sum-of-products (ESOP) expressions over
+// three-valued cubes and a heuristic exorlink minimizer in the spirit of
+// EXORCISM-4 (Mishchenko & Perkowski), the tool the paper uses to convert
+// reversible specifications into ESOP form before PPRM expansion (Section
+// II-E). The PPRM expansion itself is canonical, so internal/pprm computes
+// it exactly; this package reproduces the paper's stated pipeline and
+// provides general ESOP machinery (SOP→ESOP, minimization, ESOP→PPRM).
+package esop
+
+import (
+	"fmt"
+	mathbits "math/bits"
+	"strings"
+)
+
+// Cube is a product term over n variables in which every variable appears
+// positive, negative, or not at all. It is stored as two masks: pos has a
+// bit per positive literal, neg per negative literal. A variable in both
+// masks is contradictory (the empty cube); helpers keep cubes canonical by
+// never producing that state.
+type Cube struct {
+	Pos uint32
+	Neg uint32
+}
+
+// Tautology is the cube with no literals (constant 1).
+var Tautology = Cube{}
+
+// Literals returns the number of literals in the cube.
+func (c Cube) Literals() int {
+	return onesCount(c.Pos) + onesCount(c.Neg)
+}
+
+// Contains reports whether the cube's product function is 1 on assignment x.
+func (c Cube) Contains(x uint32) bool {
+	return x&c.Pos == c.Pos && ^x&c.Neg == c.Neg
+}
+
+// Distance returns the number of variables on which the two cubes differ
+// (have different literal states), the metric driving exorlink.
+func (c Cube) Distance(o Cube) int {
+	return onesCount((c.Pos ^ o.Pos) | (c.Neg ^ o.Neg))
+}
+
+// String renders the cube with lower-case letters for positive literals
+// and upper-case for negative ones ("aB" = a·¬b); the tautology is "1".
+func (c Cube) String() string {
+	if c.Pos == 0 && c.Neg == 0 {
+		return "1"
+	}
+	var b strings.Builder
+	for i := 0; i < 32; i++ {
+		bit := uint32(1) << uint(i)
+		switch {
+		case c.Pos&bit != 0:
+			b.WriteByte(byte('a' + i%26))
+		case c.Neg&bit != 0:
+			b.WriteByte(byte('A' + i%26))
+		}
+	}
+	return b.String()
+}
+
+// ParseCube parses the String format.
+func ParseCube(s string) (Cube, error) {
+	if s == "1" {
+		return Tautology, nil
+	}
+	var c Cube
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z':
+			c.Pos |= 1 << uint(r-'a')
+		case r >= 'A' && r <= 'Z':
+			c.Neg |= 1 << uint(r-'A')
+		default:
+			return Cube{}, fmt.Errorf("esop: bad literal %q in cube %q", r, s)
+		}
+	}
+	if c.Pos&c.Neg != 0 {
+		return Cube{}, fmt.Errorf("esop: contradictory cube %q", s)
+	}
+	return c, nil
+}
+
+func onesCount(x uint32) int { return mathbits.OnesCount32(x) }

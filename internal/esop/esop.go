@@ -1,0 +1,197 @@
+package esop
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/bits"
+	"repro/internal/pprm"
+)
+
+// Expr is an EXOR sum-of-products over N variables: the function is the
+// GF(2) sum of its cubes' product functions. Duplicate cubes are legal (an
+// even number of copies cancels) but the constructors and Minimize keep the
+// list duplicate-free.
+type Expr struct {
+	N     int
+	Cubes []Cube
+}
+
+// Eval returns the expression's value on input assignment x.
+func (e *Expr) Eval(x uint32) bool {
+	parity := false
+	for _, c := range e.Cubes {
+		if c.Contains(x) {
+			parity = !parity
+		}
+	}
+	return parity
+}
+
+// Literals returns the total literal count, a common ESOP size measure.
+func (e *Expr) Literals() int {
+	n := 0
+	for _, c := range e.Cubes {
+		n += c.Literals()
+	}
+	return n
+}
+
+// Clone deep-copies the expression.
+func (e *Expr) Clone() *Expr {
+	return &Expr{N: e.N, Cubes: append([]Cube(nil), e.Cubes...)}
+}
+
+// String lists the cubes joined by " ^ ", or "0" for the empty expression.
+func (e *Expr) String() string {
+	if len(e.Cubes) == 0 {
+		return "0"
+	}
+	parts := make([]string, len(e.Cubes))
+	for i, c := range e.Cubes {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, " ^ ")
+}
+
+// FromMinterms builds the trivial ESOP with one full cube per minterm
+// (minterms are disjoint, so their OR equals their EXOR).
+func FromMinterms(n int, minterms []uint32) (*Expr, error) {
+	if n < 1 || n > 30 {
+		return nil, fmt.Errorf("esop: unsupported variable count %d", n)
+	}
+	all := uint32(1)<<uint(n) - 1
+	e := &Expr{N: n}
+	seen := make(map[uint32]bool, len(minterms))
+	for _, m := range minterms {
+		if m > all {
+			return nil, fmt.Errorf("esop: minterm %d out of range for %d variables", m, n)
+		}
+		if seen[m] {
+			return nil, fmt.Errorf("esop: duplicate minterm %d", m)
+		}
+		seen[m] = true
+		e.Cubes = append(e.Cubes, Cube{Pos: m, Neg: ^m & all})
+	}
+	return e, nil
+}
+
+// FromColumn builds the minterm ESOP of a truth-table column.
+func FromColumn(col []bool) (*Expr, error) {
+	n := 0
+	for size := 1; size < len(col); size <<= 1 {
+		n++
+	}
+	if 1<<uint(n) != len(col) {
+		return nil, fmt.Errorf("esop: column length %d is not a power of two", len(col))
+	}
+	var minterms []uint32
+	for x, v := range col {
+		if v {
+			minterms = append(minterms, uint32(x))
+		}
+	}
+	return FromMinterms(n, minterms)
+}
+
+// FromSOP converts an OR of cubes (a sum-of-products cover, not necessarily
+// disjoint) into an equivalent ESOP using the classic disjoint-sharp
+// expansion: c1 + rest = c1 ⊕ ¬c1·rest, with ¬c1 expanded into the disjoint
+// cubes ¬l1, l1¬l2, l1l2¬l3, … over c1's literals.
+func FromSOP(n int, cover []Cube) (*Expr, error) {
+	if n < 1 || n > 30 {
+		return nil, fmt.Errorf("esop: unsupported variable count %d", n)
+	}
+	e := &Expr{N: n}
+	e.Cubes = orToXor(cover)
+	return e, nil
+}
+
+func orToXor(cover []Cube) []Cube {
+	if len(cover) == 0 {
+		return nil
+	}
+	head, rest := cover[0], orToXor(cover[1:])
+	out := []Cube{head}
+	// ¬head as disjoint cubes, each ANDed with every cube of rest.
+	for _, neg := range complementCubes(head) {
+		for _, r := range rest {
+			if c, ok := intersect(neg, r); ok {
+				out = append(out, c)
+			}
+		}
+	}
+	return cancelDuplicates(out)
+}
+
+// complementCubes returns a disjoint cube cover of ¬c.
+func complementCubes(c Cube) []Cube {
+	var out []Cube
+	var prefix Cube
+	for i := 0; i < 32; i++ {
+		bit := uint32(1) << uint(i)
+		switch {
+		case c.Pos&bit != 0:
+			out = append(out, Cube{Pos: prefix.Pos, Neg: prefix.Neg | bit})
+			prefix.Pos |= bit
+		case c.Neg&bit != 0:
+			out = append(out, Cube{Pos: prefix.Pos | bit, Neg: prefix.Neg})
+			prefix.Neg |= bit
+		}
+	}
+	return out
+}
+
+// intersect returns the AND of two cubes, reporting false when they are
+// disjoint (some variable appears with opposite polarities).
+func intersect(a, b Cube) (Cube, bool) {
+	c := Cube{Pos: a.Pos | b.Pos, Neg: a.Neg | b.Neg}
+	if c.Pos&c.Neg != 0 {
+		return Cube{}, false
+	}
+	return c, true
+}
+
+// cancelDuplicates removes cube pairs (EXOR of two identical cubes is 0).
+func cancelDuplicates(cubes []Cube) []Cube {
+	count := make(map[Cube]int, len(cubes))
+	for _, c := range cubes {
+		count[c]++
+	}
+	out := cubes[:0]
+	for _, c := range cubes {
+		if count[c]%2 == 1 {
+			out = append(out, c)
+			count[c] -= 2 // keep exactly one survivor
+		}
+	}
+	// Deterministic order.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos != out[j].Pos {
+			return out[i].Pos < out[j].Pos
+		}
+		return out[i].Neg < out[j].Neg
+	})
+	return out
+}
+
+// ToPPRM expands the ESOP into positive-polarity Reed–Muller terms via the
+// substitution ¬a = a ⊕ 1 (Section II-E): each cube with positive mask P
+// and negative mask Q contributes the terms {P ∪ S : S ⊆ Q}, with an even
+// number of identical terms cancelling.
+func (e *Expr) ToPPRM() pprm.TermSet {
+	var ts pprm.TermSet
+	for _, c := range e.Cubes {
+		// Iterate over all subsets S of c.Neg.
+		s := uint32(0)
+		for {
+			ts.Toggle(bits.Mask(c.Pos | s))
+			if s == c.Neg {
+				break
+			}
+			s = (s - c.Neg) & c.Neg // next subset
+		}
+	}
+	return ts
+}

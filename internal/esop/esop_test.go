@@ -1,0 +1,289 @@
+package esop
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestCubeString(t *testing.T) {
+	cases := []struct {
+		cube Cube
+		want string
+	}{
+		{Tautology, "1"},
+		{Cube{Pos: 0b101}, "ac"},
+		{Cube{Pos: 0b001, Neg: 0b010}, "aB"},
+		{Cube{Neg: 0b100}, "C"},
+	}
+	for _, c := range cases {
+		if got := c.cube.String(); got != c.want {
+			t.Errorf("String(%+v) = %q, want %q", c.cube, got, c.want)
+		}
+		back, err := ParseCube(c.want)
+		if err != nil || back != c.cube {
+			t.Errorf("ParseCube(%q) = %+v, %v", c.want, back, err)
+		}
+	}
+}
+
+func TestParseCubeRejectsContradiction(t *testing.T) {
+	if _, err := ParseCube("aA"); err == nil {
+		t.Error("contradictory cube should fail to parse")
+	}
+}
+
+func TestCubeContains(t *testing.T) {
+	c := Cube{Pos: 0b001, Neg: 0b100} // a·¬c
+	for x := uint32(0); x < 8; x++ {
+		want := x&1 == 1 && x&4 == 0
+		if got := c.Contains(x); got != want {
+			t.Errorf("Contains(%03b) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestDistance(t *testing.T) {
+	a, _ := ParseCube("abC")
+	b, _ := ParseCube("aBc")
+	if d := a.Distance(b); d != 2 {
+		t.Errorf("distance(abC, aBc) = %d, want 2", d)
+	}
+	if d := a.Distance(a); d != 0 {
+		t.Errorf("self distance = %d", d)
+	}
+}
+
+// evalEqual checks two representations of an n-variable function pointwise.
+func exprMatchesColumn(t *testing.T, e *Expr, col []bool) {
+	t.Helper()
+	for x := range col {
+		if e.Eval(uint32(x)) != col[x] {
+			t.Fatalf("expr %s: Eval(%d) = %v, want %v", e, x, e.Eval(uint32(x)), col[x])
+		}
+	}
+}
+
+func randomColumn(n int, src *rng.Source) []bool {
+	col := make([]bool, 1<<uint(n))
+	for i := range col {
+		col[i] = src.Bool()
+	}
+	return col
+}
+
+func TestFromColumnExact(t *testing.T) {
+	src := rng.New(21)
+	for n := 1; n <= 5; n++ {
+		for trial := 0; trial < 10; trial++ {
+			col := randomColumn(n, src)
+			e, err := FromColumn(col)
+			if err != nil {
+				t.Fatal(err)
+			}
+			exprMatchesColumn(t, e, col)
+		}
+	}
+}
+
+func TestMinimizePreservesFunction(t *testing.T) {
+	src := rng.New(77)
+	for n := 2; n <= 5; n++ {
+		for trial := 0; trial < 15; trial++ {
+			col := randomColumn(n, src)
+			e, err := FromColumn(col)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := e.Minimize()
+			exprMatchesColumn(t, m, col)
+			if len(m.Cubes) > len(e.Cubes) {
+				t.Errorf("n=%d: Minimize grew the cover %d → %d", n, len(e.Cubes), len(m.Cubes))
+			}
+		}
+	}
+}
+
+func TestMinimizeParity(t *testing.T) {
+	// Parity of 3 variables has 4 minterms; its minimal ESOP is the 3
+	// single-literal cubes a ^ b ^ c.
+	e, err := FromMinterms(3, []uint32{1, 2, 4, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := e.Minimize()
+	exprMatchesColumn(t, m, []bool{false, true, true, false, true, false, false, true})
+	if len(m.Cubes) > 3 {
+		t.Errorf("parity minimized to %d cubes (%s), want ≤ 3", len(m.Cubes), m)
+	}
+}
+
+func TestMinimizeAND(t *testing.T) {
+	// A single product needs a single cube.
+	e, err := FromMinterms(2, []uint32{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := e.Minimize()
+	if len(m.Cubes) != 1 {
+		t.Errorf("ab minimized to %s", m)
+	}
+}
+
+func TestFromSOP(t *testing.T) {
+	// a + b over two variables: ON-set {1,2,3}.
+	a, _ := ParseCube("a")
+	b, _ := ParseCube("b")
+	e, err := FromSOP(2, []Cube{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exprMatchesColumn(t, e, []bool{false, true, true, true})
+}
+
+func TestFromSOPOverlappingCubes(t *testing.T) {
+	// f = ab + bc + ac (majority) over three variables.
+	ab, _ := ParseCube("ab")
+	bc, _ := ParseCube("bc")
+	ac, _ := ParseCube("ac")
+	e, err := FromSOP(3, []Cube{ab, bc, ac})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]bool, 8)
+	for x := uint32(0); x < 8; x++ {
+		ones := 0
+		for i := 0; i < 3; i++ {
+			if x&(1<<uint(i)) != 0 {
+				ones++
+			}
+		}
+		want[x] = ones >= 2
+	}
+	exprMatchesColumn(t, e, want)
+}
+
+func TestToPPRMMatchesEval(t *testing.T) {
+	src := rng.New(5)
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + src.Intn(4)
+		col := randomColumn(n, src)
+		e, err := FromColumn(col)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := e.Minimize().ToPPRM()
+		for x := uint32(0); x < 1<<uint(n); x++ {
+			parity := false
+			for _, term := range ts.Terms() {
+				if x&term == term {
+					parity = !parity
+				}
+			}
+			if parity != col[x] {
+				t.Fatalf("trial %d: PPRM disagrees at %d", trial, x)
+			}
+		}
+	}
+}
+
+func TestComplementCubesDisjointAndComplete(t *testing.T) {
+	f := func(pos, neg uint16) bool {
+		p := uint32(pos) & 0xff
+		q := uint32(neg) & 0xff &^ p
+		c := Cube{Pos: p, Neg: q}
+		comp := complementCubes(c)
+		for x := uint32(0); x < 256; x++ {
+			inComp := 0
+			for _, cc := range comp {
+				if cc.Contains(x) {
+					inComp++
+				}
+			}
+			if c.Contains(x) {
+				if inComp != 0 {
+					return false
+				}
+			} else if inComp != 1 { // disjoint cover: exactly one cube
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestExorlink2PreservesFunction: both rewritings of a distance-2 pair
+// must realize the same function as the original pair.
+func TestExorlink2PreservesFunction(t *testing.T) {
+	src := rng.New(404)
+	made := 0
+	for trial := 0; trial < 400 && made < 60; trial++ {
+		n := 3 + src.Intn(3)
+		mask := uint32(1)<<uint(n) - 1
+		a := Cube{Pos: uint32(src.Intn(1<<uint(n))) & mask}
+		a.Neg = uint32(src.Intn(1<<uint(n))) & mask &^ a.Pos
+		b := Cube{Pos: uint32(src.Intn(1<<uint(n))) & mask}
+		b.Neg = uint32(src.Intn(1<<uint(n))) & mask &^ b.Pos
+		if a.Distance(b) != 2 {
+			continue
+		}
+		made++
+		want := func(x uint32) bool { return a.Contains(x) != b.Contains(x) }
+		for _, alt := range exorlink2(a, b) {
+			for x := uint32(0); x <= mask; x++ {
+				got := alt[0].Contains(x) != alt[1].Contains(x)
+				if got != want(x) {
+					t.Fatalf("exorlink2(%s,%s) alternative (%s,%s) wrong at %b",
+						a, b, alt[0], alt[1], x)
+				}
+			}
+		}
+	}
+	if made < 20 {
+		t.Fatalf("only %d distance-2 pairs generated", made)
+	}
+}
+
+// TestMerge1PreservesFunction checks the distance-1 merge rule.
+func TestMerge1PreservesFunction(t *testing.T) {
+	src := rng.New(505)
+	made := 0
+	for trial := 0; trial < 400 && made < 60; trial++ {
+		n := 2 + src.Intn(4)
+		mask := uint32(1)<<uint(n) - 1
+		a := Cube{Pos: uint32(src.Intn(1<<uint(n))) & mask}
+		a.Neg = uint32(src.Intn(1<<uint(n))) & mask &^ a.Pos
+		b := Cube{Pos: uint32(src.Intn(1<<uint(n))) & mask}
+		b.Neg = uint32(src.Intn(1<<uint(n))) & mask &^ b.Pos
+		if a.Distance(b) != 1 {
+			continue
+		}
+		made++
+		m := merge1(a, b)
+		for x := uint32(0); x <= mask; x++ {
+			if m.Contains(x) != (a.Contains(x) != b.Contains(x)) {
+				t.Fatalf("merge1(%s,%s) = %s wrong at %b", a, b, m, x)
+			}
+		}
+	}
+	if made < 20 {
+		t.Fatalf("only %d distance-1 pairs generated", made)
+	}
+}
+
+func TestMinimizeIdempotent(t *testing.T) {
+	src := rng.New(606)
+	for trial := 0; trial < 10; trial++ {
+		col := randomColumn(4, src)
+		e, _ := FromColumn(col)
+		m1 := e.Minimize()
+		m2 := m1.Minimize()
+		if len(m2.Cubes) != len(m1.Cubes) {
+			t.Errorf("Minimize not idempotent: %d → %d cubes", len(m1.Cubes), len(m2.Cubes))
+		}
+	}
+}

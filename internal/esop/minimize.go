@@ -1,0 +1,161 @@
+package esop
+
+// Exorlink-based heuristic minimization in the style of EXORCISM
+// (Mishchenko & Perkowski, "Fast heuristic minimization of exclusive
+// sum-of-products", RM 2001). The full tool iterates exorlink-2/3/4 with
+// sophisticated acceptance schedules; this implementation applies the
+// reductions that account for the bulk of EXORCISM's gains:
+//
+//	distance 0: X ⊕ X = 0                       (cube-pair cancellation)
+//	distance 1: aX ⊕ āX = X, aX ⊕ X = āX, …     (cube-pair merge)
+//	distance 2: both exorlink-2 rewrites, accepted when they reduce the
+//	            literal count or enable a distance-0/1 reduction.
+//
+// The result is always function-preserving (verified by property tests);
+// optimality is not claimed, matching the heuristic nature of the original.
+
+// varState encodes a variable's appearance in a cube.
+type varState int
+
+const (
+	absent varState = iota
+	positive
+	negative
+)
+
+func stateOf(c Cube, bit uint32) varState {
+	switch {
+	case c.Pos&bit != 0:
+		return positive
+	case c.Neg&bit != 0:
+		return negative
+	default:
+		return absent
+	}
+}
+
+func withState(c Cube, bit uint32, s varState) Cube {
+	c.Pos &^= bit
+	c.Neg &^= bit
+	switch s {
+	case positive:
+		c.Pos |= bit
+	case negative:
+		c.Neg |= bit
+	}
+	return c
+}
+
+// combine is the single-variable EXOR combination used by exorlink:
+// a ⊕ ā = 1, a ⊕ 1 = ā, ā ⊕ 1 = a. It is defined only for distinct states.
+func combine(a, b varState) varState {
+	switch {
+	case a == positive && b == negative, a == negative && b == positive:
+		return absent
+	case a == positive && b == absent, a == absent && b == positive:
+		return negative
+	default: // negative/absent in either order
+		return positive
+	}
+}
+
+// diffBits returns the mask of variables on which the cubes differ.
+func diffBits(a, b Cube) uint32 {
+	return (a.Pos ^ b.Pos) | (a.Neg ^ b.Neg)
+}
+
+// merge1 merges two cubes at distance 1 into the single equivalent cube.
+func merge1(a, b Cube) Cube {
+	d := diffBits(a, b)
+	return withState(a, d, combine(stateOf(a, d), stateOf(b, d)))
+}
+
+// exorlink2 returns the two alternative rewritings of a ⊕ b (distance
+// exactly 2), each a pair of cubes.
+func exorlink2(a, b Cube) [2][2]Cube {
+	d := diffBits(a, b)
+	u := d & (-d)
+	v := d &^ u
+	cu := combine(stateOf(a, u), stateOf(b, u))
+	cv := combine(stateOf(a, v), stateOf(b, v))
+	// Ordering [u, v]: first cube takes the combined u and a's v; the
+	// second takes b's u and the combined v.
+	alt1 := [2]Cube{withState(a, u, cu), withState(withState(a, u, stateOf(b, u)), v, cv)}
+	// Ordering [v, u].
+	alt2 := [2]Cube{withState(a, v, cv), withState(withState(a, v, stateOf(b, v)), u, cu)}
+	return [2][2]Cube{alt1, alt2}
+}
+
+// Minimize iteratively applies cancellations, merges, and profitable
+// exorlink-2 rewrites until a fixed point, returning a new expression.
+func (e *Expr) Minimize() *Expr {
+	cubes := cancelDuplicates(append([]Cube(nil), e.Cubes...))
+	for {
+		if !reduceOnce(&cubes) {
+			break
+		}
+	}
+	return &Expr{N: e.N, Cubes: cancelDuplicates(cubes)}
+}
+
+// reduceOnce performs the first applicable reduction, reporting whether
+// anything changed.
+func reduceOnce(cubes *[]Cube) bool {
+	cs := *cubes
+	// Distance 0/1 pairs first: they strictly shrink the cube count.
+	for i := 0; i < len(cs); i++ {
+		for j := i + 1; j < len(cs); j++ {
+			switch cs[i].Distance(cs[j]) {
+			case 0:
+				cs = append(cs[:j], cs[j+1:]...)
+				cs = append(cs[:i], cs[i+1:]...)
+				*cubes = cs
+				return true
+			case 1:
+				m := merge1(cs[i], cs[j])
+				cs = append(cs[:j], cs[j+1:]...)
+				cs[i] = m
+				*cubes = cs
+				return true
+			}
+		}
+	}
+	// Exorlink-2 rewrites: accept when literals drop, or when a rewritten
+	// cube is at distance ≤ 1 from a third cube (a reduction next round).
+	lits := func(cs []Cube) int {
+		n := 0
+		for _, c := range cs {
+			n += c.Literals()
+		}
+		return n
+	}
+	base := lits(cs)
+	for i := 0; i < len(cs); i++ {
+		for j := i + 1; j < len(cs); j++ {
+			if cs[i].Distance(cs[j]) != 2 {
+				continue
+			}
+			for _, alt := range exorlink2(cs[i], cs[j]) {
+				delta := alt[0].Literals() + alt[1].Literals() -
+					cs[i].Literals() - cs[j].Literals()
+				profitable := base+delta < base
+				if !profitable {
+					for k := 0; k < len(cs) && !profitable; k++ {
+						if k == i || k == j {
+							continue
+						}
+						if cs[k].Distance(alt[0]) <= 1 || cs[k].Distance(alt[1]) <= 1 {
+							profitable = true
+						}
+					}
+				}
+				if profitable {
+					cs[i], cs[j] = alt[0], alt[1]
+					*cubes = cs
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,95 @@
+// Package exp implements the paper's evaluation (Section V): one driver
+// per table or figure, each returning structured results that
+// cmd/experiments renders as text and bench_test.go exercises as Go
+// benchmarks. Every experiment is deterministic given its seed and step
+// budgets; EXPERIMENTS.md records the paper-vs-measured comparison.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Histogram is a gate-count distribution: Counts[g] is the number of
+// circuits synthesized with exactly g gates.
+type Histogram struct {
+	Counts []int
+	Total  int
+	Failed int
+}
+
+// Add records a circuit of the given size (-1 for a failure).
+func (h *Histogram) Add(gates int) {
+	h.Total++
+	if gates < 0 {
+		h.Failed++
+		return
+	}
+	for len(h.Counts) <= gates {
+		h.Counts = append(h.Counts, 0)
+	}
+	h.Counts[gates]++
+}
+
+// Average returns the mean gate count over successful syntheses.
+func (h *Histogram) Average() float64 {
+	sum, n := 0, 0
+	for g, c := range h.Counts {
+		sum += g * c
+		n += c
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(sum) / float64(n)
+}
+
+// Bucket sums counts in [lo, hi].
+func (h *Histogram) Bucket(lo, hi int) int {
+	total := 0
+	for g := lo; g <= hi && g < len(h.Counts); g++ {
+		total += h.Counts[g]
+	}
+	return total
+}
+
+// writeTable renders an aligned text table.
+func writeTable(w io.Writer, header []string, rows [][]string) {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, cell := range r {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range rows {
+		line(r)
+	}
+}
+
+func itoa(v int) string { return fmt.Sprintf("%d", v) }
+
+func orDash(v int, present bool) string {
+	if !present {
+		return "—"
+	}
+	return itoa(v)
+}

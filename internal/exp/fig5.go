@@ -1,0 +1,49 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/bits"
+	"repro/internal/core"
+	"repro/internal/perm"
+	"repro/internal/pprm"
+)
+
+// Fig5 replays the paper's Fig. 5 search walkthrough: the basic algorithm
+// on the Fig. 1 function, with every queue operation written to w. The
+// run reproduces the narrative — three first-level substitutions with
+// a = a ⊕ 1 most attractive, the depth-3 solution via b = b ⊕ ac and
+// c = c ⊕ ab, and the late pops that are pruned against bestDepth.
+func Fig5(w io.Writer) error {
+	p := perm.MustFromInts([]int{1, 0, 7, 2, 3, 4, 5, 6})
+	spec, err := pprm.FromPerm(p)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Fig. 1 function %s\nPPRM (Eq. 3):\n%s\n\n", p, spec)
+
+	opts := core.BasicOptions()
+	opts.Trace = func(e core.Event) {
+		kind := map[core.EventKind]string{
+			core.EventPush:     "push",
+			core.EventPop:      "pop",
+			core.EventSolution: "solution",
+			core.EventRestart:  "restart",
+		}[e.Kind]
+		sub := "(root)"
+		if e.Target >= 0 {
+			sub = fmt.Sprintf("%s = %s ^ %s", bits.VarName(e.Target),
+				bits.VarName(e.Target), bits.TermString(e.Factor))
+		}
+		fmt.Fprintf(w, "%-8s node %-3d depth %d  %-12s terms=%-2d elim=%-2d priority=%.2f\n",
+			kind, e.ID, e.Depth, sub, e.Terms, e.Elim, e.Priority)
+	}
+	res := core.Synthesize(spec, opts)
+	if !res.Found {
+		return fmt.Errorf("fig5: walkthrough failed to find the solution")
+	}
+	fmt.Fprintf(w, "\nsolution (Fig. 3(d)): %s  — %d gates, %d steps\n",
+		res.Circuit, res.Circuit.Len(), res.Steps)
+	return nil
+}

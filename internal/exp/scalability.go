@@ -1,0 +1,113 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+// ScalabilityConfig controls the Table V/VI/VII reproductions: random
+// Toffoli cascades of 6–16 variables are generated, simulated to obtain
+// their specification, and resynthesized from the PPRM expansion. The
+// paper records only whether a (not necessarily minimal) solution is found
+// in time, so FirstSolution mode is used.
+type ScalabilityConfig struct {
+	// MaxGateCount is the generated circuit length bound: 15 (Table V),
+	// 20 (Table VI), or 25 (Table VII). Each generated circuit's length
+	// is uniform in [1, MaxGateCount].
+	MaxGateCount int
+	// SamplesPerVar is the number of circuits per variable count (the
+	// paper uses 500 for Table V and 1000 for VI/VII).
+	SamplesPerVar int
+	// MinVars/MaxVars bound the sweep (paper: 6–16).
+	MinVars, MaxVars int
+	Seed             uint64
+	// TotalSteps bounds each synthesis deterministically.
+	TotalSteps int
+	// Library for generated circuits (the paper mixes GT and NCT; GT is
+	// the default).
+	Library circuit.Library
+}
+
+// TableVConfig, TableVIConfig, TableVIIConfig return the paper's setups
+// with the given per-variable sample count.
+func TableVConfig(perVar int, seed uint64) ScalabilityConfig {
+	return ScalabilityConfig{MaxGateCount: 15, SamplesPerVar: perVar,
+		MinVars: 6, MaxVars: 16, Seed: seed, TotalSteps: 60000}
+}
+func TableVIConfig(perVar int, seed uint64) ScalabilityConfig {
+	return ScalabilityConfig{MaxGateCount: 20, SamplesPerVar: perVar,
+		MinVars: 6, MaxVars: 16, Seed: seed, TotalSteps: 60000}
+}
+func TableVIIConfig(perVar int, seed uint64) ScalabilityConfig {
+	return ScalabilityConfig{MaxGateCount: 25, SamplesPerVar: perVar,
+		MinVars: 6, MaxVars: 16, Seed: seed, TotalSteps: 60000}
+}
+
+// ScalabilityRow is one variable count's outcome.
+type ScalabilityRow struct {
+	Vars    int
+	Hist    Histogram
+	Elapsed time.Duration
+}
+
+// ScalabilityResult is the reproduction of one of Tables V–VII.
+type ScalabilityResult struct {
+	Config ScalabilityConfig
+	Rows   []ScalabilityRow
+}
+
+// Scalability runs the random-circuit resynthesis sweep.
+func Scalability(cfg ScalabilityConfig) *ScalabilityResult {
+	res := &ScalabilityResult{Config: cfg}
+	src := rng.New(cfg.Seed)
+	for n := cfg.MinVars; n <= cfg.MaxVars; n++ {
+		row := ScalabilityRow{Vars: n}
+		start := time.Now()
+		for i := 0; i < cfg.SamplesPerVar; i++ {
+			gates := 1 + src.Intn(cfg.MaxGateCount)
+			c := circuit.Random(n, gates, cfg.Library, src)
+			spec := c.PPRM()
+			opts := core.DefaultOptions()
+			opts.FirstSolution = true
+			opts.TotalSteps = cfg.TotalSteps
+			opts.MaxGates = 40
+			r := core.Synthesize(spec, opts)
+			if r.Found {
+				row.Hist.Add(r.Circuit.Len())
+			} else {
+				row.Hist.Add(-1)
+			}
+		}
+		row.Elapsed = time.Since(start)
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// Write renders the sweep in the paper's bucketed form (circuit-size
+// buckets of five, plus the failure column).
+func (r *ScalabilityResult) Write(w io.Writer) {
+	header := []string{"vars", "1-5", "6-10", "11-15", "16-20", "21-25",
+		"26-30", "31-35", "36-40", "failed", "fail%", "elapsed"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		cells := []string{itoa(row.Vars)}
+		for lo := 1; lo <= 36; lo += 5 {
+			cells = append(cells, itoa(row.Hist.Bucket(lo, lo+4)))
+		}
+		cells = append(cells,
+			itoa(row.Hist.Failed),
+			fmt.Sprintf("%.1f", 100*float64(row.Hist.Failed)/float64(max(row.Hist.Total, 1))),
+			row.Elapsed.Round(time.Millisecond).String(),
+		)
+		rows = append(rows, cells)
+	}
+	writeTable(w, header, rows)
+	fmt.Fprintf(w, "random circuits with at most %d gates, %d samples per variable count\n",
+		r.Config.MaxGateCount, r.Config.SamplesPerVar)
+}

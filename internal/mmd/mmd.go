@@ -1,0 +1,164 @@
+// Package mmd implements the transformation-based reversible synthesis
+// algorithm of Miller, Maslov and Dueck ("A transformation based algorithm
+// for reversible logic synthesis", DAC 2003) restricted to Toffoli gates —
+// the method the paper compares against in Table I (reference [7]).
+//
+// The algorithm scans the truth table in lexicographic input order and, for
+// each row x whose current output f(x) differs from x, appends Toffoli
+// gates on the output side that map f(x) to x without disturbing any
+// earlier (already fixed) row. Because rows 0..x−1 already map to
+// themselves, f(x) ≥ x for the first unfixed row, and gates whose control
+// set is contained in the current output value only touch rows whose
+// output is a superset of the controls — all of which are ≥ x. The
+// bidirectional variant may instead (or additionally) apply gates on the
+// input side when that is cheaper, exactly as in the original paper.
+package mmd
+
+import (
+	"math/bits"
+
+	ibits "repro/internal/bits"
+	"repro/internal/circuit"
+	"repro/internal/perm"
+)
+
+// Direction selects the algorithm variant.
+type Direction int
+
+const (
+	// Unidirectional applies gates on the output side only.
+	Unidirectional Direction = iota
+	// Bidirectional chooses, row by row, the cheaper of fixing the row
+	// from the output side or from the input side.
+	Bidirectional
+)
+
+// Synthesize returns a Toffoli cascade realizing the reversible function p.
+// The result is always found: the algorithm is constructive and needs at
+// most (n−1)·2^n + 1 gates. The caller may Simplify() the result; the
+// numbers reported in the paper's Table I for [7] include no template
+// post-processing, so neither does this function.
+func Synthesize(p perm.Perm, dir Direction) *circuit.Circuit {
+	n := p.Vars()
+	if n < 0 {
+		panic("mmd: invalid permutation size")
+	}
+	f := append(perm.Perm(nil), p...) // current function, mutated as output gates apply
+	g := perm.Perm(nil)               // inverse view for input-side gates
+	if dir == Bidirectional {
+		g = f.Inverse()
+	}
+
+	var outGates []circuit.Gate // applied after the original function, collected in application order
+	var inGates []circuit.Gate  // applied before the original function, collected in application order
+
+	// applyOut composes gate t at the output side: f ← t ∘ f.
+	applyOut := func(gt circuit.Gate) {
+		for x := range f {
+			f[x] = gt.Apply(f[x])
+		}
+		if g != nil {
+			g = f.Inverse()
+		}
+		outGates = append(outGates, gt)
+	}
+	// applyIn composes gate t at the input side: f ← f ∘ t. Gates are
+	// self-inverse, so f∘t maps t(x) to the old f(x); equivalently the
+	// inverse function g gets the gate on its output side.
+	applyIn := func(gt circuit.Gate) {
+		for x := range g {
+			g[x] = gt.Apply(g[x])
+		}
+		f = g.Inverse()
+		inGates = append(inGates, gt)
+	}
+
+	// Step 0 of the MMD paper: map f(0) to 0 with NOT gates (output side).
+	if dir == Bidirectional && g != nil && cost(uint32(0), g[0]) < cost(uint32(0), f[0]) {
+		for _, gt := range notGates(g[0]) {
+			applyIn(gt)
+		}
+	}
+	for _, gt := range notGates(f[0]) {
+		applyOut(gt)
+	}
+
+	for x := 1; x < len(f); x++ {
+		if f[x] == uint32(x) {
+			continue
+		}
+		if dir == Bidirectional && cost(uint32(x), g[x]) < cost(uint32(x), f[x]) {
+			// Fixing the inverse function's row x with output-side gates
+			// on g is the same as input-side gates on f.
+			for _, gt := range rowGates(uint32(x), g[x]) {
+				applyIn(gt)
+			}
+			continue
+		}
+		for _, gt := range rowGates(uint32(x), f[x]) {
+			applyOut(gt)
+		}
+	}
+
+	// The accumulated transformations satisfy O ∘ p ∘ I = identity, where
+	// O = outGk∘…∘outG1 (each output gate composed on the left) and
+	// I = in1∘…∘inm (each input gate composed on the right, so the most
+	// recently added input gate acts first). Every Toffoli gate is
+	// self-inverse, hence p = O⁻¹ ∘ I⁻¹, which as a cascade read from the
+	// circuit inputs is: in1, in2, …, inm, outGk, …, outG1.
+	c := circuit.New(n)
+	c.Gates = append(c.Gates, inGates...)
+	for i := len(outGates) - 1; i >= 0; i-- {
+		c.Append(outGates[i])
+	}
+	return c
+}
+
+// rowGates returns the output-side gates mapping value y to value x (x < y
+// is guaranteed by the scan invariant... x ≤ y bitwise-wise is not; both
+// phases are needed) without affecting any value < x. First, bits in x
+// missing from y are set using controls drawn from y's current ones;
+// then bits of y not in x are cleared using controls drawn from x's ones
+// plus the remaining extra ones (minus the target).
+func rowGates(x, y uint32) []circuit.Gate {
+	var gates []circuit.Gate
+	// Phase 1: set the bits present in x but missing from y. Controls:
+	// all ones of the current y (the target is not among them).
+	for {
+		add := x &^ y
+		if add == 0 {
+			break
+		}
+		t := bits.TrailingZeros32(add)
+		gates = append(gates, circuit.Gate{Target: t, Controls: ibits.Mask(y)})
+		y |= 1 << uint(t)
+	}
+	// Phase 2: clear bits p ∈ y&^x. Controls: all ones of y except the
+	// target itself; since y ⊇ x now, controls ⊇ x's ones minus nothing.
+	for {
+		rm := y &^ x
+		if rm == 0 {
+			break
+		}
+		t := bits.TrailingZeros32(rm)
+		b := uint32(1) << uint(t)
+		gates = append(gates, circuit.Gate{Target: t, Controls: ibits.Mask(y &^ b)})
+		y &^= b
+	}
+	return gates
+}
+
+// notGates maps value y to 0 with unconditioned NOT gates.
+func notGates(y uint32) []circuit.Gate {
+	var gates []circuit.Gate
+	for y != 0 {
+		t := bits.TrailingZeros32(y)
+		gates = append(gates, circuit.Gate{Target: t})
+		y &^= 1 << uint(t)
+	}
+	return gates
+}
+
+// cost estimates how many gates rowGates would emit to map y to x: the
+// Hamming distance (each differing bit costs one gate).
+func cost(x, y uint32) int { return bits.OnesCount32(x ^ y) }

@@ -1,0 +1,132 @@
+// Package peephole implements local optimization of Toffoli cascades in
+// the spirit of Shende et al.'s "Scalable simplification of reversible
+// circuits" (reference [17] of the paper): sliding windows of consecutive
+// gates whose combined support fits on three wires are replaced by a
+// provably minimal realization from the exhaustive-BFS table of
+// internal/optimal.
+//
+// Unlike template matching, window resynthesis is trivially sound — every
+// replacement is checked to realize the same function on the window's
+// support — and it is optimal *within the window*. The paper applies no
+// such post-processing to its own numbers (it cites templates as other
+// authors' work), so the experiment drivers do not use this package; it is
+// provided as the natural extension for downstream users.
+package peephole
+
+import (
+	"repro/internal/bits"
+	"repro/internal/circuit"
+	"repro/internal/optimal"
+	"repro/internal/perm"
+)
+
+// Optimizer caches the optimal-synthesis table.
+type Optimizer struct {
+	table *optimal.Table
+	// MaxWindow bounds the number of consecutive gates considered
+	// (default 8).
+	MaxWindow int
+}
+
+// New builds an Optimizer (computing the 3-variable BFS table once,
+// ~100 ms).
+func New() *Optimizer {
+	return &Optimizer{table: optimal.Distances(optimal.NCT), MaxWindow: 8}
+}
+
+// Optimize repeatedly replaces reducible windows until a fixed point,
+// returning a new circuit computing the same function with at most as many
+// gates.
+func (o *Optimizer) Optimize(c *circuit.Circuit) *circuit.Circuit {
+	gates := append([]circuit.Gate(nil), c.Gates...)
+	for {
+		gates2, changed := o.pass(c.Wires, gates)
+		gates = gates2
+		if !changed {
+			break
+		}
+	}
+	out := circuit.New(c.Wires)
+	out.Gates = gates
+	return out
+}
+
+// pass performs one left-to-right scan, applying the first profitable
+// window replacement.
+func (o *Optimizer) pass(wires int, gates []circuit.Gate) ([]circuit.Gate, bool) {
+	maxw := o.MaxWindow
+	if maxw <= 0 {
+		maxw = 8
+	}
+	for i := 0; i < len(gates); i++ {
+		var support bits.Mask
+		for j := i; j < len(gates) && j < i+maxw; j++ {
+			support |= gates[j].Controls | bits.Bit(gates[j].Target)
+			if bits.Count(support) > 3 {
+				break
+			}
+			windowLen := j - i + 1
+			if windowLen < 2 {
+				continue
+			}
+			repl, ok := o.resynth(wires, gates[i:j+1], support)
+			if ok && len(repl) < windowLen {
+				out := append([]circuit.Gate{}, gates[:i]...)
+				out = append(out, repl...)
+				out = append(out, gates[j+1:]...)
+				return out, true
+			}
+		}
+	}
+	return gates, false
+}
+
+// resynth maps the window onto wires {0,1,2}, asks the optimal table for a
+// minimal realization, and maps the result back. The support is padded
+// with idle wires up to three, because a minimal realization may use a
+// wire the window does not (e.g. as routing for a swap).
+func (o *Optimizer) resynth(wires int, window []circuit.Gate, support bits.Mask) ([]circuit.Gate, bool) {
+	vars := bits.Vars(support)
+	for w := 0; w < wires && len(vars) < 3; w++ {
+		if !bits.Has(support, w) {
+			vars = append(vars, w)
+		}
+	}
+	if len(vars) < 3 && len(vars) < wires {
+		return nil, false
+	}
+	toLocal := map[int]int{}
+	for li, v := range vars {
+		toLocal[v] = li
+	}
+	local := circuit.New(3)
+	for _, g := range window {
+		lg := circuit.Gate{Target: toLocal[g.Target]}
+		for _, cv := range bits.Vars(g.Controls) {
+			lg.Controls |= bits.Bit(toLocal[cv])
+		}
+		local.Append(lg)
+	}
+	// Pad missing wires: the window function on unused local wires is the
+	// identity, which the table handles naturally.
+	p := local.Perm()
+	min, err := o.table.Circuit(perm.Perm(p))
+	if err != nil {
+		return nil, false
+	}
+	repl := make([]circuit.Gate, 0, min.Len())
+	for _, g := range min.Gates {
+		if g.Target >= len(vars) {
+			return nil, false // realization needs a wire the circuit lacks
+		}
+		rg := circuit.Gate{Target: vars[g.Target]}
+		for _, cv := range bits.Vars(g.Controls) {
+			if cv >= len(vars) {
+				return nil, false
+			}
+			rg.Controls |= bits.Bit(vars[cv])
+		}
+		repl = append(repl, rg)
+	}
+	return repl, true
+}

@@ -1,0 +1,130 @@
+package pprm
+
+import (
+	"sort"
+
+	"repro/internal/bits"
+)
+
+// TermSet is the set of product terms (with coefficient 1) of one output's
+// PPRM expansion, stored as a sorted slice of term masks. The paper's C
+// implementation uses sorted doubly linked lists for the same reason:
+// substitutions stream through the terms in order, and copies (one per
+// queued search node) are a single contiguous move.
+type TermSet struct {
+	terms []bits.Mask // strictly increasing
+}
+
+// NewTermSet builds a set from arbitrary masks; duplicate pairs cancel
+// (EXOR semantics).
+func NewTermSet(masks ...bits.Mask) TermSet {
+	var ts TermSet
+	for _, m := range masks {
+		ts.Toggle(m)
+	}
+	return ts
+}
+
+// Len returns the number of terms.
+func (ts *TermSet) Len() int { return len(ts.terms) }
+
+// Has reports whether term t has coefficient 1.
+func (ts *TermSet) Has(t bits.Mask) bool {
+	i := sort.Search(len(ts.terms), func(i int) bool { return ts.terms[i] >= t })
+	return i < len(ts.terms) && ts.terms[i] == t
+}
+
+// Toggle flips membership of term t and returns +1 if it was inserted, −1
+// if removed.
+func (ts *TermSet) Toggle(t bits.Mask) int {
+	i := sort.Search(len(ts.terms), func(i int) bool { return ts.terms[i] >= t })
+	if i < len(ts.terms) && ts.terms[i] == t {
+		ts.terms = append(ts.terms[:i], ts.terms[i+1:]...)
+		return -1
+	}
+	ts.terms = append(ts.terms, 0)
+	copy(ts.terms[i+1:], ts.terms[i:])
+	ts.terms[i] = t
+	return 1
+}
+
+// Clone returns a copy of the set.
+func (ts *TermSet) Clone() TermSet {
+	return TermSet{terms: append([]bits.Mask(nil), ts.terms...)}
+}
+
+// Terms returns the terms in ascending mask order. The slice aliases the
+// set's storage and must not be modified.
+func (ts *TermSet) Terms() []bits.Mask { return ts.terms }
+
+// Sorted returns the terms ordered by ascending literal count, then mask —
+// the deterministic presentation order used for printing and candidate
+// enumeration.
+func (ts *TermSet) Sorted() []bits.Mask {
+	out := append([]bits.Mask(nil), ts.terms...)
+	sort.Slice(out, func(i, j int) bool {
+		ci, cj := bits.Count(out[i]), bits.Count(out[j])
+		if ci != cj {
+			return ci < cj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// Equal reports whether the two sets hold the same terms.
+func (ts *TermSet) Equal(o *TermSet) bool {
+	if len(ts.terms) != len(o.terms) {
+		return false
+	}
+	for i, t := range ts.terms {
+		if o.terms[i] != t {
+			return false
+		}
+	}
+	return true
+}
+
+// symmetricMerge replaces ts with ts Δ toggles, where toggles is sorted and
+// duplicate-free, returning the change in size. scratch, if non-nil, is
+// reused as the output buffer to avoid allocation.
+func (ts *TermSet) symmetricMerge(toggles []bits.Mask, scratch []bits.Mask) int {
+	out := scratch[:0]
+	a, b := ts.terms, toggles
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	delta := len(out) - len(a)
+	ts.terms = append(ts.terms[:0], out...)
+	return delta
+}
+
+// dedupSorted collapses duplicate pairs in a sorted toggle list (an even
+// number of identical toggles cancels), in place.
+func dedupSorted(ms []bits.Mask) []bits.Mask {
+	out := ms[:0]
+	for i := 0; i < len(ms); {
+		j := i
+		for j < len(ms) && ms[j] == ms[i] {
+			j++
+		}
+		if (j-i)%2 == 1 {
+			out = append(out, ms[i])
+		}
+		i = j
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+// Package qasm exports Toffoli cascades as OpenQASM 2.0, the interchange
+// format of mainstream quantum toolchains — the application domain the
+// paper motivates reversible synthesis with ("quantum gates are reversible
+// by nature"). NOT, CNOT and TOF3 map to the standard x/cx/ccx gates;
+// larger Toffoli gates are lowered through internal/decomp's
+// borrowed-ancilla constructions, so the emitted program uses only
+// standard gates.
+package qasm
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bits"
+	"repro/internal/circuit"
+	"repro/internal/decomp"
+)
+
+// Options controls the export.
+type Options struct {
+	// RegisterName is the quantum register identifier (default "q").
+	RegisterName string
+	// KeepLargeGates emits non-standard `mcx_k` invocations for gates
+	// with more than two controls instead of decomposing them; useful
+	// when the consuming toolchain lowers multi-controlled gates itself.
+	KeepLargeGates bool
+	// Comments adds a header and per-gate comments.
+	Comments bool
+}
+
+// Export renders the cascade as an OpenQASM 2.0 program.
+func Export(c *circuit.Circuit, opts Options) (string, error) {
+	if err := c.Validate(); err != nil {
+		return "", err
+	}
+	reg := opts.RegisterName
+	if reg == "" {
+		reg = "q"
+	}
+	lowered := c
+	if !opts.KeepLargeGates && c.MaxGateSize() > 3 {
+		var err error
+		lowered, err = decomp.DecomposeCircuit(c)
+		if err != nil {
+			return "", fmt.Errorf("qasm: cannot lower large gates: %w (add an ancilla wire)", err)
+		}
+	}
+
+	var b strings.Builder
+	b.WriteString("OPENQASM 2.0;\n")
+	b.WriteString("include \"qelib1.inc\";\n")
+	if opts.Comments {
+		fmt.Fprintf(&b, "// %d-wire reversible cascade, %d gates\n", c.Wires, c.Len())
+	}
+	fmt.Fprintf(&b, "qreg %s[%d];\n", reg, lowered.Wires)
+	declared := map[int]bool{}
+	for _, g := range lowered.Gates {
+		if err := writeGate(&b, g, reg, opts, declared); err != nil {
+			return "", err
+		}
+	}
+	return b.String(), nil
+}
+
+func writeGate(b *strings.Builder, g circuit.Gate, reg string, opts Options, declared map[int]bool) error {
+	controls := bits.Vars(g.Controls)
+	switch len(controls) {
+	case 0:
+		fmt.Fprintf(b, "x %s[%d];\n", reg, g.Target)
+	case 1:
+		fmt.Fprintf(b, "cx %s[%d],%s[%d];\n", reg, controls[0], reg, g.Target)
+	case 2:
+		fmt.Fprintf(b, "ccx %s[%d],%s[%d],%s[%d];\n",
+			reg, controls[0], reg, controls[1], reg, g.Target)
+	default:
+		if !opts.KeepLargeGates {
+			return fmt.Errorf("qasm: internal: undecomposed %d-control gate", len(controls))
+		}
+		// Emit a gate declaration once per arity, then the invocation.
+		// OpenQASM 2.0 has no native multi-control NOT; consumers with
+		// mcx support can substitute their own definition.
+		k := len(controls)
+		if !declared[k] {
+			fmt.Fprintf(b, "// opaque multi-controlled NOT with %d controls\n", k)
+			fmt.Fprintf(b, "opaque mcx_%d", k)
+			for i := 0; i <= k; i++ {
+				if i == 0 {
+					b.WriteString(" a0")
+				} else {
+					fmt.Fprintf(b, ",a%d", i)
+				}
+			}
+			b.WriteString(";\n")
+			declared[k] = true
+		}
+		fmt.Fprintf(b, "mcx_%d", k)
+		for i, cw := range controls {
+			if i == 0 {
+				fmt.Fprintf(b, " %s[%d]", reg, cw)
+			} else {
+				fmt.Fprintf(b, ",%s[%d]", reg, cw)
+			}
+		}
+		fmt.Fprintf(b, ",%s[%d];\n", reg, g.Target)
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+package qasm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/rng"
+)
+
+func TestExportSmallGates(t *testing.T) {
+	c, _ := circuit.Parse(3, "TOF1(a) TOF2(a,b) TOF3(c,a,b)")
+	out, err := Export(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"OPENQASM 2.0;",
+		"qreg q[3];",
+		"x q[0];",
+		"cx q[0],q[1];",
+		"ccx q[0],q[2],q[1];",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestExportDecomposesLargeGates(t *testing.T) {
+	c, _ := circuit.Parse(6, "TOF5(e,d,c,b,a)")
+	out, err := Export(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "mcx") {
+		t.Error("large gate leaked into standard export")
+	}
+	if !strings.Contains(out, "ccx") {
+		t.Error("decomposition should use ccx gates")
+	}
+}
+
+func TestExportKeepLargeGates(t *testing.T) {
+	c, _ := circuit.Parse(6, "TOF5(e,d,c,b,a) TOF5(e,d,c,b,a)")
+	out, err := Export(c, Options{KeepLargeGates: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out, "opaque mcx_4") != 1 {
+		t.Errorf("mcx declaration should appear exactly once:\n%s", out)
+	}
+	if strings.Count(out, "mcx_4 q[") != 2 {
+		t.Errorf("expected two mcx invocations:\n%s", out)
+	}
+}
+
+func TestExportFullWidthGateFails(t *testing.T) {
+	c, _ := circuit.Parse(4, "TOF4(d,c,b,a)")
+	if _, err := Export(c, Options{}); err == nil {
+		t.Error("full-width gate without ancilla should fail with advice")
+	}
+}
+
+func TestExportCustomRegister(t *testing.T) {
+	c, _ := circuit.Parse(2, "TOF2(a,b)")
+	out, err := Export(c, Options{RegisterName: "wires", Comments: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "qreg wires[2];") || !strings.Contains(out, "// 2-wire") {
+		t.Errorf("custom register/comments missing:\n%s", out)
+	}
+}
+
+func TestExportRejectsInvalidCircuit(t *testing.T) {
+	bad := circuit.New(2)
+	bad.Append(circuit.Gate{Target: 9})
+	if _, err := Export(bad, Options{}); err == nil {
+		t.Error("invalid circuit should fail")
+	}
+}
+
+// TestGateCounts: every emitted line for a random NCT circuit is one of
+// the three standard gates, one per input gate.
+func TestGateCounts(t *testing.T) {
+	src := rng.New(9)
+	c := circuit.Random(5, 20, circuit.NCT, src)
+	out, err := Export(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gateLines := 0
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "x ") || strings.HasPrefix(line, "cx ") || strings.HasPrefix(line, "ccx ") {
+			gateLines++
+		}
+	}
+	if gateLines != 20 {
+		t.Errorf("emitted %d gate lines for 20 NCT gates", gateLines)
+	}
+}

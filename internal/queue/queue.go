@@ -1,0 +1,131 @@
+// Package queue provides the max-heap priority queue used by the synthesis
+// search (Section IV-C: "A priority queue, implemented as a max heap, is
+// utilized to determine which node is processed next").
+//
+// Ties are broken by insertion order (FIFO), which keeps the search
+// deterministic — important both for reproducing runs and for matching the
+// behaviour of a sequential C implementation.
+package queue
+
+import "sort"
+
+// Queue is a max-heap of values with float64 priorities. The zero value is
+// an empty queue ready for use.
+type Queue[T any] struct {
+	items []entry[T]
+	seq   uint64
+}
+
+type entry[T any] struct {
+	value    T
+	priority float64
+	seq      uint64
+}
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Clear discards all queued items (used by the restart heuristic).
+func (q *Queue[T]) Clear() {
+	q.items = q.items[:0]
+}
+
+// PruneTo keeps only the k highest-precedence items, discarding the rest.
+// The search uses it to bound memory on large functions. A descending-sorted
+// array satisfies the max-heap property, so the rebuild is a sort.
+func (q *Queue[T]) PruneTo(k int) {
+	if len(q.items) <= k {
+		return
+	}
+	sortEntries(q.items)
+	tail := q.items[k:]
+	for i := range tail {
+		tail[i] = entry[T]{}
+	}
+	q.items = q.items[:k]
+}
+
+// sortEntries sorts descending by precedence (priority, then insertion
+// order).
+func sortEntries[T any](items []entry[T]) {
+	sort.Slice(items, func(i, j int) bool {
+		a, b := items[i], items[j]
+		if a.priority != b.priority {
+			return a.priority > b.priority
+		}
+		return a.seq < b.seq
+	})
+}
+
+// Push inserts v with the given priority.
+func (q *Queue[T]) Push(v T, priority float64) {
+	q.items = append(q.items, entry[T]{value: v, priority: priority, seq: q.seq})
+	q.seq++
+	q.up(len(q.items) - 1)
+}
+
+// Pop removes and returns the highest-priority item. The boolean is false
+// when the queue is empty.
+func (q *Queue[T]) Pop() (T, bool) {
+	if len(q.items) == 0 {
+		var zero T
+		return zero, false
+	}
+	top := q.items[0].value
+	last := len(q.items) - 1
+	q.items[0] = q.items[last]
+	q.items[last] = entry[T]{} // release reference
+	q.items = q.items[:last]
+	if len(q.items) > 0 {
+		q.down(0)
+	}
+	return top, true
+}
+
+// Peek returns the highest-priority item without removing it.
+func (q *Queue[T]) Peek() (T, bool) {
+	if len(q.items) == 0 {
+		var zero T
+		return zero, false
+	}
+	return q.items[0].value, true
+}
+
+// less reports whether item i has strictly higher precedence than item j:
+// higher priority, or equal priority and earlier insertion.
+func (q *Queue[T]) less(i, j int) bool {
+	a, b := q.items[i], q.items[j]
+	if a.priority != b.priority {
+		return a.priority > b.priority
+	}
+	return a.seq < b.seq
+}
+
+func (q *Queue[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			return
+		}
+		q.items[i], q.items[parent] = q.items[parent], q.items[i]
+		i = parent
+	}
+}
+
+func (q *Queue[T]) down(i int) {
+	n := len(q.items)
+	for {
+		best := i
+		if l := 2*i + 1; l < n && q.less(l, best) {
+			best = l
+		}
+		if r := 2*i + 2; r < n && q.less(r, best) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		q.items[i], q.items[best] = q.items[best], q.items[i]
+		i = best
+	}
+}

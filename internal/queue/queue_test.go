@@ -1,0 +1,138 @@
+package queue
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestEmpty(t *testing.T) {
+	var q Queue[int]
+	if _, ok := q.Pop(); ok {
+		t.Error("Pop on empty queue should report !ok")
+	}
+	if _, ok := q.Peek(); ok {
+		t.Error("Peek on empty queue should report !ok")
+	}
+	if q.Len() != 0 {
+		t.Error("empty queue has nonzero Len")
+	}
+}
+
+func TestMaxHeapOrder(t *testing.T) {
+	var q Queue[string]
+	q.Push("low", 1)
+	q.Push("high", 10)
+	q.Push("mid", 5)
+	for _, want := range []string{"high", "mid", "low"} {
+		got, ok := q.Pop()
+		if !ok || got != want {
+			t.Fatalf("Pop = %q (%v), want %q", got, ok, want)
+		}
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	var q Queue[int]
+	for i := 0; i < 100; i++ {
+		q.Push(i, 7.0)
+	}
+	for i := 0; i < 100; i++ {
+		got, _ := q.Pop()
+		if got != i {
+			t.Fatalf("equal-priority pop %d = %d, want insertion order", i, got)
+		}
+	}
+}
+
+func TestRandomizedAgainstSort(t *testing.T) {
+	src := rng.New(5)
+	for trial := 0; trial < 20; trial++ {
+		var q Queue[int]
+		n := 200 + src.Intn(300)
+		prios := make([]float64, n)
+		for i := range prios {
+			prios[i] = float64(src.Intn(50)) // many ties
+			q.Push(i, prios[i])
+		}
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool { return prios[idx[a]] > prios[idx[b]] })
+		for i := 0; i < n; i++ {
+			got, ok := q.Pop()
+			if !ok || got != idx[i] {
+				t.Fatalf("trial %d pos %d: got %d, want %d", trial, i, got, idx[i])
+			}
+		}
+	}
+}
+
+func TestClear(t *testing.T) {
+	var q Queue[int]
+	q.Push(1, 1)
+	q.Push(2, 2)
+	q.Clear()
+	if q.Len() != 0 {
+		t.Error("Clear left items behind")
+	}
+	q.Push(3, 3)
+	if v, ok := q.Pop(); !ok || v != 3 {
+		t.Error("queue unusable after Clear")
+	}
+}
+
+func TestPruneTo(t *testing.T) {
+	var q Queue[int]
+	for i := 0; i < 100; i++ {
+		q.Push(i, float64(i))
+	}
+	q.PruneTo(10)
+	if q.Len() != 10 {
+		t.Fatalf("Len after PruneTo(10) = %d", q.Len())
+	}
+	// Survivors must be the ten highest priorities, still popped in order.
+	for want := 99; want >= 90; want-- {
+		got, _ := q.Pop()
+		if got != want {
+			t.Fatalf("post-prune pop = %d, want %d", got, want)
+		}
+	}
+}
+
+func TestPruneToNoOpWhenSmall(t *testing.T) {
+	var q Queue[int]
+	q.Push(1, 1)
+	q.PruneTo(10)
+	if q.Len() != 1 {
+		t.Error("PruneTo shrank a small queue")
+	}
+}
+
+func TestPruneKeepsHeapValid(t *testing.T) {
+	// Store each item's priority as its value so pop order is checkable
+	// after a prune.
+	src := rng.New(13)
+	var q Queue[float64]
+	for i := 0; i < 1000; i++ {
+		p := float64(src.Intn(100))
+		q.Push(p, p)
+	}
+	q.PruneTo(333)
+	if q.Len() != 333 {
+		t.Fatalf("Len after prune = %d", q.Len())
+	}
+	last := 1e18
+	for {
+		v, ok := q.Pop()
+		if !ok {
+			break
+		}
+		if v > last {
+			t.Fatalf("pop priority %v after %v: heap order broken by prune", v, last)
+		}
+		last = v
+	}
+}

@@ -1,0 +1,88 @@
+package rng
+
+import "testing"
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed generators diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("different seeds produced %d identical values", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := New(7)
+	for i := 0; i < 10000; i++ {
+		v := s.Intn(13)
+		if v < 0 || v >= 13 {
+			t.Fatalf("Intn(13) = %d", v)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnRoughlyUniform(t *testing.T) {
+	s := New(99)
+	const buckets, draws = 8, 80000
+	var counts [buckets]int
+	for i := 0; i < draws; i++ {
+		counts[s.Intn(buckets)]++
+	}
+	want := draws / buckets
+	for b, c := range counts {
+		if c < want*9/10 || c > want*11/10 {
+			t.Errorf("bucket %d: %d draws, want ≈%d", b, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v", f)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(11)
+	for trial := 0; trial < 50; trial++ {
+		p := s.Perm(20)
+		seen := make([]bool, 20)
+		for _, v := range p {
+			if v < 0 || v >= 20 || seen[v] {
+				t.Fatalf("Perm(20) = %v is not a permutation", p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var s Source
+	_ = s.Uint64() // must not panic
+}

@@ -1,0 +1,237 @@
+package tt
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Embedding records how an irreversible table was lifted to a reversible
+// specification.
+//
+// The garbage outputs are chosen to be copies of inputs wherever that
+// suffices to disambiguate repeated output vectors: a copied input stays
+// on its own wire, so the corresponding expansion is already the identity
+// and the synthesizer only has to build the real outputs. This mirrors the
+// hand-crafted specifications used in the literature (e.g. the rd53
+// specification of Miller & Dueck keeps four inputs as garbage); the paper
+// itself notes that choosing the garbage assignment is an open problem.
+// When input copies cannot disambiguate within the available width, the
+// remaining garbage bits hold an occurrence index.
+type Embedding struct {
+	// Wires is the width of the reversible function.
+	Wires int
+	// GarbageOutputs is the number of non-original outputs (input copies
+	// plus occurrence-index bits).
+	GarbageOutputs int
+	// ConstantInputs is the number of inputs added to balance the wire
+	// count; they occupy the high wires and must be driven with 0.
+	ConstantInputs int
+	// CopiedInputs lists the inputs replicated to garbage outputs (each
+	// stays on its own wire).
+	CopiedInputs []int
+	// OutputWires[j] is the wire carrying original output j.
+	OutputWires []int
+	// Spec is the reversible function, as a permutation on 2^Wires values.
+	Spec []uint32
+}
+
+// OriginalOutput extracts the original function's output vector from a
+// reversible output value produced by the embedding.
+func (e *Embedding) OriginalOutput(y uint32) uint32 {
+	var out uint32
+	for j, w := range e.OutputWires {
+		out |= (y >> uint(w) & 1) << uint(j)
+	}
+	return out
+}
+
+// Embed converts the table into a reversible specification following the
+// paper's recipe (Section II-A): ⌈log2 p⌉ garbage outputs disambiguate the
+// most frequent output vector's p occurrences, and constant inputs balance
+// the wire count. The width is always the minimum the recipe allows:
+// max(inputs, outputs + ⌈log2 p⌉).
+func Embed(t *Table) (*Embedding, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	p := t.MaxMultiplicity()
+	g0 := 0
+	if p > 1 {
+		g0 = bits.Len(uint(p - 1)) // ⌈log2 p⌉
+	}
+	wires := t.Outputs + g0
+	if t.Inputs > wires {
+		wires = t.Inputs
+	}
+	if wires > 30 {
+		return nil, fmt.Errorf("tt: embedding needs %d wires (unsupported)", wires)
+	}
+	g := wires - t.Outputs
+
+	copied, occBits := chooseGarbage(t, g)
+	return build(t, wires, copied, occBits)
+}
+
+// chooseGarbage picks the largest set of input copies that, together with
+// occBits occurrence-index bits, disambiguates every output class. k = 0
+// with occBits = g always works because 2^g ≥ p.
+func chooseGarbage(t *Table, g int) (copied []int, occBits int) {
+	maxK := g
+	if t.Inputs < maxK {
+		maxK = t.Inputs
+	}
+	for k := maxK; k >= 1; k-- {
+		budget := 1 << uint(g-k)
+		if s, ok := findSubset(t, k, budget); ok {
+			return s, g - k
+		}
+	}
+	return nil, g
+}
+
+// findSubset searches (bounded) for k inputs whose values, joined with the
+// output vector, split the rows into classes of size ≤ budget.
+func findSubset(t *Table, k, budget int) ([]int, bool) {
+	const maxTries = 8192
+	tries := 0
+	// Enumerate k-subsets of {0,…,Inputs−1} in lexicographic order.
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	counts := make(map[uint64]int)
+	for {
+		tries++
+		if tries > maxTries {
+			return nil, false
+		}
+		var mask uint32
+		for _, i := range idx {
+			mask |= 1 << uint(i)
+		}
+		clear(counts)
+		ok := true
+		for x, y := range t.Rows {
+			key := uint64(y)<<32 | uint64(uint32(x)&mask)
+			counts[key]++
+			if counts[key] > budget {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return append([]int(nil), idx...), true
+		}
+		// Next combination.
+		i := k - 1
+		for i >= 0 && idx[i] == t.Inputs-k+i {
+			i--
+		}
+		if i < 0 {
+			return nil, false
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}
+
+// xorFillValid reports whether XORing the constant-input pattern onto the
+// high output wires yields a permutation: true iff the low `inputs` bits
+// of the real rows' codes are pairwise distinct within each high-bit
+// pattern — equivalently, no two real codes differ only in bits ≥ inputs.
+func xorFillValid(realCodes []uint32, inputs, wires int) bool {
+	if inputs == wires {
+		return true // no constant rows to fill
+	}
+	low := uint32(1)<<uint(inputs) - 1
+	seen := make(map[uint32]uint32, len(realCodes))
+	for _, y := range realCodes {
+		if prev, ok := seen[y&low]; ok && prev != y {
+			return false
+		}
+		seen[y&low] = y
+	}
+	return true
+}
+
+// build lays out the reversible specification: copied inputs stay on their
+// own wires; original outputs and occurrence bits take the remaining wires
+// in ascending order (outputs first).
+func build(t *Table, wires int, copied []int, occBits int) (*Embedding, error) {
+	isCopied := make([]bool, wires)
+	for _, i := range copied {
+		isCopied[i] = true
+	}
+	var free []int
+	for w := 0; w < wires; w++ {
+		if !isCopied[w] {
+			free = append(free, w)
+		}
+	}
+	if len(free) != t.Outputs+occBits {
+		return nil, fmt.Errorf("tt: internal layout mismatch (%d free wires, need %d)",
+			len(free), t.Outputs+occBits)
+	}
+	outputWires := free[:t.Outputs]
+	occWires := free[t.Outputs:]
+
+	var copyMask uint32
+	for _, i := range copied {
+		copyMask |= 1 << uint(i)
+	}
+
+	size := 1 << uint(wires)
+	spec := make([]uint32, size)
+	used := make([]bool, size)
+	occ := make(map[uint64]uint32, len(t.Rows))
+
+	for x, y := range t.Rows {
+		code := uint32(x) & copyMask
+		for j, w := range outputWires {
+			code |= (y >> uint(j) & 1) << uint(w)
+		}
+		key := uint64(y)<<32 | uint64(uint32(x)&copyMask)
+		k := occ[key]
+		occ[key] = k + 1
+		for b, w := range occWires {
+			code |= (k >> uint(b) & 1) << uint(w)
+		}
+		if int(code) >= size || used[code] {
+			return nil, fmt.Errorf("tt: internal embedding collision at row %d", x)
+		}
+		spec[x] = code
+		used[code] = true
+	}
+
+	// Fill the remaining rows (constant inputs driven non-zero).
+	// Preferred scheme: row (c, x) ← spec(x) ⊕ (c << inputs), which keeps
+	// the constant wires near-linear — the paper's own Fig. 2(b) fill is
+	// exactly this. It is valid iff no two real codes differ only in the
+	// high bits; otherwise fall back to ascending unused codes.
+	if xorFillValid(spec[:len(t.Rows)], t.Inputs, wires) {
+		for x := len(t.Rows); x < size; x++ {
+			c := uint32(x) >> uint(t.Inputs)
+			spec[x] = spec[x&(len(t.Rows)-1)] ^ c<<uint(t.Inputs)
+		}
+	} else {
+		next := 0
+		for x := len(t.Rows); x < size; x++ {
+			for used[next] {
+				next++
+			}
+			spec[x] = uint32(next)
+			used[next] = true
+		}
+	}
+
+	return &Embedding{
+		Wires:          wires,
+		GarbageOutputs: len(copied) + occBits,
+		ConstantInputs: wires - t.Inputs,
+		CopiedInputs:   copied,
+		OutputWires:    outputWires,
+		Spec:           spec,
+	}, nil
+}

@@ -1,0 +1,19 @@
+package rmrls
+
+import (
+	"repro/internal/circuit"
+	"repro/internal/perm"
+	"repro/internal/rng"
+)
+
+// randomCircuit isolates the deterministic-RNG plumbing from the facade.
+func randomCircuit(wires, gates int, lib circuit.Library, seed uint64) *circuit.Circuit {
+	return circuit.Random(wires, gates, lib, rng.New(seed))
+}
+
+// RandomFunction returns a uniformly random reversible function of n
+// variables (the workload of the paper's Tables II and III), reproducible
+// from the seed.
+func RandomFunction(n int, seed uint64) Perm {
+	return perm.Random(n, rng.New(seed))
+}
