@@ -3,6 +3,10 @@
 // runs the full suite with default sizes (scaled down from the paper's
 // counts; raise -samples/-pervar for the full-size runs).
 //
+// A long sweep can be interrupted (Ctrl-C / SIGTERM): the in-flight
+// synthesis is canceled, completed rows are rendered, and failed rows
+// report the stop reason that ended them.
+//
 // Usage:
 //
 //	experiments table1 [-samples N] [-full]
@@ -16,10 +20,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/exp"
@@ -29,7 +36,12 @@ func main() {
 	if len(os.Args) < 2 {
 		usage()
 	}
-	cmd, args := os.Args[1], os.Args[2:]
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	dispatch(ctx, os.Args[1], os.Args[2:])
+}
+
+func dispatch(ctx context.Context, cmd string, args []string) {
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	var (
 		samples = fs.Int("samples", 0, "sample count (0 = subcommand default)")
@@ -54,7 +66,7 @@ func main() {
 			n = 4000
 		}
 		fmt.Fprintf(w, "== Table I: all 3-variable reversible functions (NCT) ==\n")
-		exp.Table1(exp.Table1Config{Samples: n, Seed: *seed, TotalSteps: *steps}).Write(w)
+		exp.Table1(ctx, exp.Table1Config{Samples: n, Seed: *seed, TotalSteps: *steps}).Write(w)
 
 	case "table2":
 		n := defaultInt(*samples, 1000)
@@ -63,7 +75,7 @@ func main() {
 		if *steps > 0 {
 			cfg.TotalSteps = *steps
 		}
-		exp.RandomFunctions(cfg).Write(w)
+		exp.RandomFunctions(ctx, cfg).Write(w)
 
 	case "table3":
 		n := defaultInt(*samples, 150)
@@ -72,7 +84,7 @@ func main() {
 		if *steps > 0 {
 			cfg.TotalSteps = *steps
 		}
-		exp.RandomFunctions(cfg).Write(w)
+		exp.RandomFunctions(ctx, cfg).Write(w)
 
 	case "table4":
 		fmt.Fprintf(w, "== Table IV: reversible logic benchmarks ==\n")
@@ -80,12 +92,12 @@ func main() {
 		if *only != "" {
 			cfg.Only = strings.Split(*only, ",")
 		}
-		exp.Benchmarks(cfg).Write(w)
+		exp.Benchmarks(ctx, cfg).Write(w)
 
 	case "extended":
 		fmt.Fprintf(w, "== Extended families (hwb#, rd#, #sym; not tabulated in the paper) ==\n")
 		cfg := exp.BenchmarkConfig{TimeLimit: *timeLim, TotalSteps: *steps}
-		exp.Extended(cfg).Write(w)
+		exp.Extended(ctx, cfg).Write(w)
 
 	case "table5", "table6", "table7":
 		var cfg exp.ScalabilityConfig
@@ -103,11 +115,11 @@ func main() {
 		if *steps > 0 {
 			cfg.TotalSteps = *steps
 		}
-		exp.Scalability(cfg).Write(w)
+		exp.Scalability(ctx, cfg).Write(w)
 
 	case "examples":
 		fmt.Fprintf(w, "== Section V-C worked examples (Figs. 3(d), 7, 8) ==\n")
-		exp.WriteExamples(w, exp.Examples(defaultInt(*steps, 400000)))
+		exp.WriteExamples(w, exp.Examples(ctx, defaultInt(*steps, 400000)))
 
 	case "fig5":
 		fmt.Fprintf(w, "== Fig. 5: search-tree walkthrough on the Fig. 1 function ==\n")
@@ -119,19 +131,17 @@ func main() {
 	case "all":
 		for _, sub := range []string{"fig5", "examples", "table1", "table2",
 			"table3", "table4", "table5", "table6", "table7", "extended"} {
+			if ctx.Err() != nil {
+				fmt.Fprintf(os.Stderr, "experiments: interrupted, skipping remaining subcommands\n")
+				break
+			}
 			fmt.Fprintf(w, "\n")
-			rerun(sub)
+			dispatch(ctx, sub, nil)
 		}
 
 	default:
 		usage()
 	}
-}
-
-func rerun(sub string) {
-	// Re-enter main with the subcommand's defaults.
-	os.Args = []string{os.Args[0], sub}
-	main()
 }
 
 func defaultInt(v, dflt int) int {

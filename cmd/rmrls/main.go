@@ -10,13 +10,23 @@
 // The output is the synthesized cascade in the paper's notation, its gate
 // count and quantum cost, and (where feasible) a simulation-based
 // verification verdict.
+//
+// Interrupting a run (Ctrl-C / SIGTERM) cancels the search gracefully: the
+// best-so-far circuit is printed together with the stop reason, and the
+// exit status reflects whether any circuit was found. Exit codes: 0 a
+// circuit was printed; 1 bad usage or input; 2 no circuit found within the
+// limits; 3 verification failure.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/bench"
@@ -31,40 +41,53 @@ import (
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main's testable body: it parses args, synthesizes, and returns
+// the process exit code instead of calling os.Exit.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rmrls", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		benchName = flag.String("bench", "", "synthesize a named paper benchmark (see -list)")
-		list      = flag.Bool("list", false, "list available benchmark names and exit")
-		isPPRM    = flag.Bool("pprm", false, "treat the argument as a PPRM file instead of a permutation")
-		isPLA     = flag.Bool("pla", false, "treat the argument as a PLA truth-table file (don't-cares allowed); the function is embedded before synthesis")
-		vars      = flag.Int("n", 0, "variable count (required with -pprm)")
-		timeLimit = flag.Duration("time", 30*time.Second, "synthesis time limit")
-		steps     = flag.Int("steps", 0, "deterministic step limit (0 = none)")
-		maxGates  = flag.Int("maxgates", 0, "maximum circuit size (0 = automatic)")
-		greedyK   = flag.Int("k", 4, "greedy pruning width (0 = keep all substitutions)")
-		basic     = flag.Bool("basic", false, "use the basic algorithm (no heuristics)")
-		library   = flag.String("library", "gt", "gate library: gt or nct")
-		first     = flag.Bool("first", false, "stop at the first solution found")
-		simplify  = flag.Bool("simplify", false, "apply peephole simplification to the result")
-		baseline  = flag.Bool("mmd", false, "also run the transformation-based baseline")
-		portfolio = flag.Bool("portfolio", false, "run the search portfolio + tightening (slower, better circuits)")
-		fredkinF  = flag.Bool("fredkin", false, "report the mixed Fredkin/Toffoli form of the result")
-		diagram   = flag.Bool("diagram", false, "draw the circuit")
-		trace     = flag.Bool("trace", false, "print the search trace (pops/pushes/solutions)")
-		quiet     = flag.Bool("q", false, "print only the circuit")
+		benchName = fs.String("bench", "", "synthesize a named paper benchmark (see -list)")
+		list      = fs.Bool("list", false, "list available benchmark names and exit")
+		isPPRM    = fs.Bool("pprm", false, "treat the argument as a PPRM file instead of a permutation")
+		isPLA     = fs.Bool("pla", false, "treat the argument as a PLA truth-table file (don't-cares allowed); the function is embedded before synthesis")
+		vars      = fs.Int("n", 0, "variable count (required with -pprm)")
+		timeLimit = fs.Duration("time", 30*time.Second, "synthesis time limit")
+		steps     = fs.Int("steps", 0, "deterministic step limit (0 = none)")
+		maxGates  = fs.Int("maxgates", 0, "maximum circuit size (0 = automatic)")
+		memMB     = fs.Int64("mem", 768, "memory ceiling for queued search nodes, in MiB (0 = unlimited; paper: 768)")
+		greedyK   = fs.Int("k", 4, "greedy pruning width (0 = keep all substitutions)")
+		basic     = fs.Bool("basic", false, "use the basic algorithm (no heuristics)")
+		library   = fs.String("library", "gt", "gate library: gt or nct")
+		first     = fs.Bool("first", false, "stop at the first solution found")
+		simplify  = fs.Bool("simplify", false, "apply peephole simplification to the result")
+		baseline  = fs.Bool("mmd", false, "also run the transformation-based baseline")
+		portfolio = fs.Bool("portfolio", false, "run the parallel search portfolio + tightening (slower, better circuits)")
+		fredkinF  = fs.Bool("fredkin", false, "report the mixed Fredkin/Toffoli form of the result")
+		diagram   = fs.Bool("diagram", false, "draw the circuit")
+		trace     = fs.Bool("trace", false, "print the search trace (pops/pushes/solutions)")
+		quiet     = fs.Bool("q", false, "print only the circuit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
 
 	if *list {
 		for _, b := range bench.All() {
-			fmt.Printf("%-12s %2d wires  %s\n", b.Name, b.Wires, b.Description)
+			fmt.Fprintf(stdout, "%-12s %2d wires  %s\n", b.Name, b.Wires, b.Description)
 		}
-		return
+		return 0
 	}
 
-	spec, p, err := loadSpec(*benchName, *isPPRM, *isPLA, *vars, flag.Args())
+	spec, p, err := loadSpec(*benchName, *isPPRM, *isPLA, *vars, fs.Args())
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "rmrls:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "rmrls:", err)
+		return 1
 	}
 
 	opts := core.DefaultOptions()
@@ -74,6 +97,7 @@ func main() {
 	opts.TimeLimit = *timeLimit
 	opts.TotalSteps = *steps
 	opts.MaxGates = *maxGates
+	opts.MaxMemory = *memMB << 20
 	opts.GreedyK = *greedyK
 	opts.FirstSolution = *first
 	switch strings.ToLower(*library) {
@@ -81,54 +105,64 @@ func main() {
 	case "nct":
 		opts.Library = circuit.NCT
 	default:
-		fmt.Fprintf(os.Stderr, "rmrls: unknown library %q\n", *library)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "rmrls: unknown library %q\n", *library)
+		return 1
 	}
 	if *trace {
-		opts.Trace = printEvent
+		opts.Trace = func(e core.Event) { printEvent(stdout, e) }
 	}
 
 	var res core.Result
 	if *portfolio {
-		res = core.SynthesizePortfolio(spec, opts, 4)
+		res = core.SynthesizePortfolioContext(ctx, spec, opts, 4)
 	} else {
-		res = core.Synthesize(spec, opts)
+		res = core.SynthesizeContext(ctx, spec, opts)
+	}
+	if res.Err != nil {
+		fmt.Fprintln(stderr, "rmrls:", res.Err)
+		return 2
 	}
 	if !res.Found {
-		fmt.Fprintf(os.Stderr, "rmrls: no circuit found within limits (%d steps, %d restarts, %v)\n",
-			res.Steps, res.Restarts, res.Elapsed.Round(time.Millisecond))
-		os.Exit(2)
+		// A script must be able to tell "no circuit" from success, and a
+		// human must be able to tell which limit stopped the search.
+		fmt.Fprintf(stderr, "rmrls: no circuit found within limits (stop=%s, %d steps, %d restarts, %v)\n",
+			res.StopReason, res.Steps, res.Restarts, res.Elapsed.Round(time.Millisecond))
+		return 2
+	}
+	if res.StopReason == core.StopCanceled {
+		fmt.Fprintf(stderr, "rmrls: interrupted; printing best-so-far circuit\n")
 	}
 	c := res.Circuit
 	if *simplify {
 		c = c.Simplify()
 	}
-	fmt.Println(c)
+	fmt.Fprintln(stdout, c)
 	if !*quiet {
-		fmt.Printf("# gates=%d quantum-cost=%d steps=%d nodes=%d elapsed=%v\n",
-			c.Len(), c.QuantumCost(), res.Steps, res.Nodes, res.Elapsed.Round(time.Microsecond))
+		fmt.Fprintf(stdout, "# gates=%d quantum-cost=%d steps=%d nodes=%d elapsed=%v stop=%s\n",
+			c.Len(), c.QuantumCost(), res.Steps, res.Nodes, res.Elapsed.Round(time.Microsecond), res.StopReason)
 		if p != nil && spec.N <= 22 {
 			if err := core.Verify(c, p); err != nil {
-				fmt.Fprintln(os.Stderr, "rmrls: VERIFICATION FAILED:", err)
-				os.Exit(3)
+				fmt.Fprintln(stderr, "rmrls: VERIFICATION FAILED:", err)
+				return 3
 			}
-			fmt.Println("# verified: circuit realizes the specification")
+			fmt.Fprintln(stdout, "# verified: circuit realizes the specification")
 		}
 	}
 
 	if *diagram {
-		fmt.Println(c.Diagram())
+		fmt.Fprintln(stdout, c.Diagram())
 	}
 	if *fredkinF {
 		mixed := fredkin.Recognize(c)
-		fmt.Printf("# fredkin form (%d gates, %d fredkin): %s\n",
+		fmt.Fprintf(stdout, "# fredkin form (%d gates, %d fredkin): %s\n",
 			mixed.Len(), mixed.FredkinCount(), mixed)
 	}
 	if *baseline && p != nil {
 		b := mmd.Synthesize(p, mmd.Bidirectional)
-		fmt.Printf("# baseline (Miller/Maslov/Dueck bidirectional): %d gates, cost %d\n",
+		fmt.Fprintf(stdout, "# baseline (Miller/Maslov/Dueck bidirectional): %d gates, cost %d\n",
 			b.Len(), b.QuantumCost())
 	}
+	return 0
 }
 
 // loadSpec resolves the three input modes to a PPRM expansion (and, where
@@ -198,7 +232,7 @@ func loadSpec(benchName string, isPPRM, isPLA bool, vars int, args []string) (*p
 	return spec, p, err
 }
 
-func printEvent(e core.Event) {
+func printEvent(w io.Writer, e core.Event) {
 	kind := map[core.EventKind]string{
 		core.EventPush:     "push",
 		core.EventPop:      "pop ",
@@ -209,6 +243,6 @@ func printEvent(e core.Event) {
 	if e.Target >= 0 {
 		sub = fmt.Sprintf("%s=%s^%s", bits.VarName(e.Target), bits.VarName(e.Target), bits.TermString(e.Factor))
 	}
-	fmt.Printf("# %s id=%-6d parent=%-6d depth=%-2d %-14s terms=%-3d elim=%-3d prio=%.3f\n",
+	fmt.Fprintf(w, "# %s id=%-6d parent=%-6d depth=%-2d %-14s terms=%-3d elim=%-3d prio=%.3f\n",
 		kind, e.ID, e.Parent, e.Depth, sub, e.Terms, e.Elim, e.Priority)
 }

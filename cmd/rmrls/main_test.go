@@ -1,8 +1,11 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -69,6 +72,59 @@ func TestLoadSpecErrors(t *testing.T) {
 	}
 	if _, _, err := loadSpec("", false, false, 0, []string{"{0, 0}"}); err == nil {
 		t.Error("invalid permutation should fail")
+	}
+}
+
+func TestRunSuccessExitsZero(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run(context.Background(), []string{"{1, 0, 3, 2}"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "verified") {
+		t.Errorf("success output missing verification line:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "stop=solved") {
+		t.Errorf("stats line missing stop reason:\n%s", out.String())
+	}
+}
+
+// TestRunNoCircuitExitsNonZero: the swap function needs three gates, so
+// -maxgates 1 makes the search provably fail; the exit code must be
+// non-zero and stderr must name the stop reason.
+func TestRunNoCircuitExitsNonZero(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run(context.Background(), []string{"-maxgates", "1", "{0, 2, 1, 3}"}, &out, &errb)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "no circuit found") || !strings.Contains(errb.String(), "stop=") {
+		t.Errorf("failure message missing diagnostics: %s", errb.String())
+	}
+}
+
+func TestRunCanceledExitsNonZero(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out, errb bytes.Buffer
+	// A 6-wire benchmark: too hard to solve inside the cancellation
+	// latency window, so the canceled run has no circuit to print.
+	code := run(ctx, []string{"-bench", "hwb6", "-time", "60s"}, &out, &errb)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "stop=canceled") {
+		t.Errorf("stderr does not attribute the failure to cancellation: %s", errb.String())
+	}
+}
+
+func TestRunBadUsageExitsOne(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(context.Background(), []string{"{0, 0}"}, &out, &errb); code != 1 {
+		t.Errorf("invalid spec: exit code = %d, want 1", code)
+	}
+	if code := run(context.Background(), []string{"-library", "bogus", "{1, 0}"}, &out, &errb); code != 1 {
+		t.Errorf("bad library: exit code = %d, want 1", code)
 	}
 }
 

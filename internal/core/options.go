@@ -99,9 +99,19 @@ type Options struct {
 	ImproveSteps int
 
 	// MaxQueue bounds the number of queued nodes; when exceeded, the
-	// lowest-priority half is discarded. This stands in for the paper's
-	// 768-MB memory ceiling. 0 selects a generous default.
+	// lowest-priority half is discarded. A coarse node-count companion to
+	// MaxMemory. 0 selects a generous default.
 	MaxQueue int
+
+	// MaxMemory bounds the approximate bytes pinned by queued search
+	// nodes (node structs plus materialized PPRM expansions) — the
+	// byte-accounted version of the paper's 768-MB memory ceiling, which
+	// MaxQueue can only fake by node count. When the estimate exceeds the
+	// limit the lowest-priority half of the queue is discarded; if even
+	// that cannot get back under the ceiling the run stops with
+	// StopMemoryLimit and reports its best-so-far circuit. 0 disables the
+	// ceiling. Result.PeakQueueBytes reports the high-water mark.
+	MaxMemory int64
 
 	// Trace, when non-nil, receives an event for every node push, pop,
 	// and solution. Used to reproduce the Fig. 5 search walkthrough.
@@ -181,6 +191,7 @@ func DefaultOptions() Options {
 		Beta:         0.6,
 		Gamma:        0.1,
 		LinearElim:   true,
+		MaxMemory:    768 << 20, // the paper's memory ceiling
 	}
 }
 

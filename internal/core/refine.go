@@ -1,21 +1,25 @@
 package core
 
 import (
+	"context"
+	"sync"
+	"time"
+
 	"repro/internal/pprm"
 )
 
-// SynthesizePortfolio runs a small portfolio of complementary search
-// configurations and returns the best circuit any of them finds, followed
-// by iterative tightening. No single priority shape wins everywhere:
-// the default A* charge (α = −0.6) is strongest on random functions and
+// portfolioVariants returns the portfolio's search configurations, derived
+// from the caller's options. No single priority shape wins everywhere: the
+// default A* charge (α = −0.6) is strongest on random functions and
 // arithmetic, a shallower charge (α = −0.3) traverses the elimination
 // plateaus of counting functions (rd53, 2of5), and the paper-shaped
 // eliminations-per-gate ordering (β·elim/depth) finds the shortest rd53
 // realizations. The paper compensated with 60–180 s wall-clock budgets;
 // the portfolio is the deterministic equivalent. Each variant gets the
-// caller's TotalSteps budget.
-func SynthesizePortfolio(spec *pprm.Spec, opts Options, rounds int) Result {
-	variants := []func(*Options){
+// caller's TotalSteps budget. Variant 0 is always the caller's own
+// configuration, so the portfolio can never do worse than a single run.
+func portfolioVariants(opts Options) []Options {
+	muts := []func(*Options){
 		func(o *Options) {},
 		func(o *Options) {
 			if o.LinearElim && o.Alpha < 0 {
@@ -27,43 +31,145 @@ func SynthesizePortfolio(spec *pprm.Spec, opts Options, rounds int) Result {
 			o.Alpha, o.Beta, o.Gamma = 0, 0.95, 0.05
 		},
 	}
-	var best Result
-	for _, mut := range variants {
+	variants := make([]Options, len(muts))
+	for i, mut := range muts {
 		v := opts
+		// A shared Trace callback would be invoked concurrently from every
+		// variant's goroutine; tracing is a single-run debugging tool, so
+		// the portfolio drops it rather than racing on the caller's sink.
+		v.Trace = nil
 		mut(&v)
-		r := Synthesize(spec, v)
-		best.Steps += r.Steps
-		best.Nodes += r.Nodes
-		best.Elapsed += r.Elapsed
-		if r.Found && (!best.Found || r.Circuit.Len() < best.Circuit.Len()) {
-			best.Found = true
-			best.Circuit = r.Circuit
-		}
+		variants[i] = v
 	}
+	return variants
+}
+
+// SynthesizePortfolio runs the portfolio with context.Background(); see
+// SynthesizePortfolioContext.
+func SynthesizePortfolio(spec *pprm.Spec, opts Options, rounds int) Result {
+	return SynthesizePortfolioContext(context.Background(), spec, opts, rounds)
+}
+
+// SynthesizePortfolioContext runs a small portfolio of complementary
+// search configurations concurrently — one goroutine per configuration,
+// each with its own per-attempt context and budget — and returns the best
+// circuit any of them finds, followed by sequential iterative tightening.
+//
+// The merge is deterministic: the winner is chosen by fewest gates, then
+// lowest quantum cost, then lowest configuration index, so the returned
+// circuit does not depend on goroutine scheduling. With deterministic
+// per-variant budgets (TotalSteps rather than TimeLimit) repeated runs
+// return byte-identical circuits. The one documented exception is
+// FirstSolution mode, where the first variant to find any solution cancels
+// the stragglers — the caller asked for latency, and which variant wins
+// that race is inherently timing-dependent.
+//
+// Canceling ctx cancels every variant and the tightening phase; the Result
+// then reports StopReason == StopCanceled with the best circuit found
+// before the cancel. A variant that dies on an internal invariant panic
+// surrenders only its own slot (its Err is surfaced when no variant
+// produced anything).
+func SynthesizePortfolioContext(ctx context.Context, spec *pprm.Spec, opts Options, rounds int) Result {
+	start := time.Now()
+	variants := portfolioVariants(opts)
+	results := make([]Result, len(variants))
+
+	pctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := range variants {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// The input spec is only read (each searcher clones it for its
+			// root), so the variants share it without synchronization.
+			results[i] = SynthesizeContext(pctx, spec, variants[i])
+			if opts.FirstSolution && results[i].Found {
+				cancel() // first solution cancels the stragglers
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	best := mergeResults(results, ctx.Err() != nil)
+	best.Elapsed = time.Since(start)
 	if !best.Found {
 		return best
 	}
 	tight := opts
 	tight.MaxGates = best.Circuit.Len() // bound the refinement's baseline
-	refined := synthesizeTightening(spec, tight, best.Circuit.Len(), rounds)
-	refined.Steps += best.Steps
-	refined.Nodes += best.Nodes
-	refined.Elapsed += best.Elapsed
+	refined := synthesizeTightening(ctx, spec, tight, best.Circuit.Len(), rounds)
+	best.Steps += refined.Steps
+	best.Nodes += refined.Nodes
+	best.Restarts += refined.Restarts
 	if refined.Found && refined.Circuit.Len() < best.Circuit.Len() {
 		best.Circuit = refined.Circuit
 	}
-	best.Steps = refined.Steps
-	best.Nodes = refined.Nodes
-	best.Elapsed = refined.Elapsed
+	if ctx.Err() != nil {
+		best.StopReason = StopCanceled
+	}
+	best.Elapsed = time.Since(start)
 	return best
 }
 
+// mergeResults folds the variant results into one, independent of the
+// order the goroutines finished in. The winning circuit is chosen by the
+// fixed tie-break (gates, then quantum cost, then variant index — the
+// loop's ascending index with strict improvement provides the last);
+// steps, nodes, restarts, and the memory high-water mark aggregate over
+// all variants so the portfolio's cost is visible to callers.
+func mergeResults(results []Result, canceled bool) Result {
+	var merged Result
+	var firstErr error
+	for i := range results {
+		r := &results[i]
+		merged.Steps += r.Steps
+		merged.Nodes += r.Nodes
+		merged.Restarts += r.Restarts
+		if r.PeakQueueBytes > merged.PeakQueueBytes {
+			merged.PeakQueueBytes = r.PeakQueueBytes
+		}
+		if r.Err != nil && firstErr == nil {
+			firstErr = r.Err
+		}
+		if r.Found && (!merged.Found || betterCircuit(r, &merged)) {
+			merged.Found = true
+			merged.Circuit = r.Circuit
+		}
+	}
+	switch {
+	case canceled:
+		merged.StopReason = StopCanceled
+	case merged.Found:
+		merged.StopReason = StopSolved
+	default:
+		// Variant 0 runs the caller's own configuration; its reason is the
+		// one a single Synthesize call would have reported.
+		merged.StopReason = results[0].StopReason
+		merged.Err = firstErr
+		if results[0].Err != nil {
+			merged.Err = results[0].Err
+		}
+	}
+	return merged
+}
+
+// betterCircuit reports whether a's circuit strictly beats the incumbent
+// b's: fewer gates, then lower quantum cost. Equality keeps the incumbent,
+// which realizes the variant-index tie-break.
+func betterCircuit(a, b *Result) bool {
+	if a.Circuit.Len() != b.Circuit.Len() {
+		return a.Circuit.Len() < b.Circuit.Len()
+	}
+	return a.Circuit.QuantumCost() < b.Circuit.QuantumCost()
+}
+
 // synthesizeTightening runs `rounds` strictly-below-bound searches.
-func synthesizeTightening(spec *pprm.Spec, opts Options, gates, rounds int) Result {
+func synthesizeTightening(ctx context.Context, spec *pprm.Spec, opts Options, gates, rounds int) Result {
 	var out Result
 	bound := gates
 	for round := 0; round < rounds; round++ {
-		if bound <= 1 {
+		if bound <= 1 || ctx.Err() != nil {
 			break
 		}
 		tight := opts
@@ -72,9 +178,10 @@ func synthesizeTightening(spec *pprm.Spec, opts Options, gates, rounds int) Resu
 		if tight.LinearElim && tight.Alpha < 0 {
 			tight.Alpha = 1.5 * tight.Alpha
 		}
-		r := Synthesize(spec, tight)
+		r := SynthesizeContext(ctx, spec, tight)
 		out.Steps += r.Steps
 		out.Nodes += r.Nodes
+		out.Restarts += r.Restarts
 		out.Elapsed += r.Elapsed
 		if !r.Found {
 			break
@@ -86,24 +193,36 @@ func synthesizeTightening(spec *pprm.Spec, opts Options, gates, rounds int) Resu
 	return out
 }
 
-// SynthesizeIterative improves on Synthesize by iterative tightening: after
-// a circuit of G gates is found, the search is re-run from scratch with
-// MaxGates = G−1, so the whole budget of the next round is spent strictly
-// below the best known size (where the priority focuses on shorter
-// realizations), instead of on an already-found frontier. Rounds stop when
-// a round finds nothing better or `rounds` re-runs have been made.
+// SynthesizeIterative is SynthesizeIterativeContext with
+// context.Background().
+func SynthesizeIterative(spec *pprm.Spec, opts Options, rounds int) Result {
+	return SynthesizeIterativeContext(context.Background(), spec, opts, rounds)
+}
+
+// SynthesizeIterativeContext improves on Synthesize by iterative
+// tightening: after a circuit of G gates is found, the search is re-run
+// from scratch with MaxGates = G−1, so the whole budget of the next round
+// is spent strictly below the best known size (where the priority focuses
+// on shorter realizations), instead of on an already-found frontier.
+// Rounds stop when a round finds nothing better, `rounds` re-runs have
+// been made, or ctx is canceled (the best circuit so far is returned with
+// StopReason == StopCanceled).
 //
 // This plays the role of the paper's long per-function improvement phases
 // (it kept searching for up to 60–180 s after the first solution) within
 // deterministic step budgets. The first round runs with the caller's
 // options verbatim; tightening rounds reuse the caller's TotalSteps budget
 // and stop at their first (necessarily better) solution.
-func SynthesizeIterative(spec *pprm.Spec, opts Options, rounds int) Result {
-	best := Synthesize(spec, opts)
+func SynthesizeIterativeContext(ctx context.Context, spec *pprm.Spec, opts Options, rounds int) Result {
+	best := SynthesizeContext(ctx, spec, opts)
 	if !best.Found {
 		return best
 	}
 	for round := 0; round < rounds; round++ {
+		if ctx.Err() != nil {
+			best.StopReason = StopCanceled
+			break
+		}
 		bound := best.Circuit.Len() - 1
 		if bound <= 0 {
 			break
@@ -120,12 +239,18 @@ func SynthesizeIterative(spec *pprm.Spec, opts Options, rounds int) Result {
 			// higher.
 			tight.Alpha = 1.5 * tight.Alpha
 		}
-		r := Synthesize(spec, tight)
+		r := SynthesizeContext(ctx, spec, tight)
 		best.Steps += r.Steps
 		best.Nodes += r.Nodes
 		best.Restarts += r.Restarts
 		best.Elapsed += r.Elapsed
+		if r.PeakQueueBytes > best.PeakQueueBytes {
+			best.PeakQueueBytes = r.PeakQueueBytes
+		}
 		if !r.Found {
+			if r.StopReason == StopCanceled {
+				best.StopReason = StopCanceled
+			}
 			break
 		}
 		best.Circuit = r.Circuit

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/perm"
@@ -97,4 +98,113 @@ func gateLen(r Result) int {
 		return -1
 	}
 	return r.Circuit.Len()
+}
+
+// TestPortfolioDeterministic is the acceptance test for the parallel
+// portfolio: under deterministic budgets the goroutine schedule must not
+// leak into the answer. Repeated runs return byte-identical circuits.
+func TestPortfolioDeterministic(t *testing.T) {
+	for _, seed := range []uint64{11, 12, 13} {
+		p := perm.Random(5, rng.New(seed))
+		spec, err := pprm.FromPerm(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := DefaultOptions()
+		opts.TotalSteps = 20000
+		opts.ImproveSteps = 2000
+		var first Result
+		for rep := 0; rep < 3; rep++ {
+			res := SynthesizePortfolio(spec, opts, 2)
+			if rep == 0 {
+				first = res
+				if res.Found {
+					if err := Verify(res.Circuit, p); err != nil {
+						t.Fatal(err)
+					}
+				}
+				continue
+			}
+			if res.Found != first.Found {
+				t.Fatalf("seed %d rep %d: found=%v, first run found=%v",
+					seed, rep, res.Found, first.Found)
+			}
+			if !res.Found {
+				continue
+			}
+			if got, want := res.Circuit.String(), first.Circuit.String(); got != want {
+				t.Errorf("seed %d rep %d: portfolio not deterministic:\n got %s\nwant %s",
+					seed, rep, got, want)
+			}
+			if res.Steps != first.Steps {
+				t.Errorf("seed %d rep %d: Steps = %d, first run %d",
+					seed, rep, res.Steps, first.Steps)
+			}
+		}
+	}
+}
+
+// TestPortfolioCanceled: a pre-canceled context must come back quickly
+// with StopCanceled and no crash from the worker goroutines.
+func TestPortfolioCanceled(t *testing.T) {
+	p := perm.Random(6, rng.New(99))
+	spec, err := pprm.FromPerm(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts := DefaultOptions()
+	opts.TotalSteps = 1 << 30
+	res := SynthesizePortfolioContext(ctx, spec, opts, 3)
+	if res.Found {
+		t.Error("pre-canceled portfolio claims a circuit")
+	}
+	if res.StopReason != StopCanceled {
+		t.Errorf("StopReason = %v, want %v", res.StopReason, StopCanceled)
+	}
+}
+
+// TestPortfolioFirstSolution: the latency-over-determinism mode still
+// returns a valid, verified circuit.
+func TestPortfolioFirstSolution(t *testing.T) {
+	p := perm.Random(5, rng.New(101))
+	spec, err := pprm.FromPerm(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.FirstSolution = true
+	opts.TotalSteps = 200000
+	res := SynthesizePortfolio(spec, opts, 0)
+	if !res.Found {
+		t.Fatal("portfolio failed on a random 5-variable function")
+	}
+	if res.StopReason != StopSolved {
+		t.Errorf("StopReason = %v, want %v", res.StopReason, StopSolved)
+	}
+	if err := Verify(res.Circuit, p); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestIterativeCanceled: the round loop must notice cancellation between
+// rounds and surface it.
+func TestIterativeCanceled(t *testing.T) {
+	p := perm.Random(5, rng.New(202))
+	spec, err := pprm.FromPerm(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts := DefaultOptions()
+	opts.TotalSteps = 1 << 30
+	res := SynthesizeIterativeContext(ctx, spec, opts, 3)
+	if res.Found {
+		t.Error("pre-canceled iterative synthesis claims a circuit")
+	}
+	if res.StopReason != StopCanceled {
+		t.Errorf("StopReason = %v, want %v", res.StopReason, StopCanceled)
+	}
 }

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"testing"
+)
+
+// The restart heuristic (Section IV-E) has three distinct exhaustion
+// paths; each must be visible in Result.Restarts and Result.StopReason.
+
+// TestRestartsExhaustedByMaxRestarts drives an unsolvable search into the
+// restart budget: after MaxRestarts reseeds the heuristic must decline
+// and the run must end with StopRestartsExhausted.
+func TestRestartsExhaustedByMaxRestarts(t *testing.T) {
+	opts := DefaultOptions()
+	opts.MaxSteps = 5
+	opts.MaxRestarts = 1
+	opts.TotalSteps = 1 << 20
+	res := Synthesize(unsolvableSpec(t), opts)
+	if res.Found {
+		t.Fatal("synthesized a non-reversible function")
+	}
+	if res.Restarts != 1 {
+		t.Errorf("Restarts = %d, want exactly MaxRestarts = 1", res.Restarts)
+	}
+	if res.StopReason != StopRestartsExhausted {
+		t.Errorf("StopReason = %v, want %v", res.StopReason, StopRestartsExhausted)
+	}
+}
+
+// TestRestartsExhaustedByFirstMoves lets restarts run unbounded
+// (MaxRestarts = 0) so the run ends only when every first move from the
+// root has been tried. The a'=b, b'=b spec has three admissible first
+// moves, so exactly two restarts fire before the pool drains.
+func TestRestartsExhaustedByFirstMoves(t *testing.T) {
+	opts := DefaultOptions()
+	opts.MaxSteps = 5
+	opts.MaxRestarts = 0
+	opts.TotalSteps = 1 << 20
+	res := Synthesize(unsolvableSpec(t), opts)
+	if res.Found {
+		t.Fatal("synthesized a non-reversible function")
+	}
+	if res.Restarts != 2 {
+		t.Errorf("Restarts = %d, want 2 (three first moves, root keeps one)", res.Restarts)
+	}
+	if res.StopReason != StopRestartsExhausted {
+		t.Errorf("StopReason = %v, want %v", res.StopReason, StopRestartsExhausted)
+	}
+}
+
+// TestRestartAfterQueueEmpty exercises the second restart trigger: the
+// queue drains before stepsSinceRestart reaches MaxSteps, and the search
+// reseeds from the next first move instead of giving up.
+func TestRestartAfterQueueEmpty(t *testing.T) {
+	opts := DefaultOptions()
+	opts.MaxSteps = 1 << 20 // never triggers the step-count restart
+	opts.MaxRestarts = 0
+	opts.TotalSteps = 1 << 20
+	res := Synthesize(unsolvableSpec(t), opts)
+	if res.Found {
+		t.Fatal("synthesized a non-reversible function")
+	}
+	if res.Restarts == 0 {
+		t.Error("queue drained but no restart fired")
+	}
+	if res.StopReason != StopRestartsExhausted {
+		t.Errorf("StopReason = %v, want %v", res.StopReason, StopRestartsExhausted)
+	}
+}
+
+// TestQueueExhaustedWithoutRestarts: with the heuristic disabled
+// (MaxSteps = 0) a drained queue is a plain exhaustion, not a restart
+// failure.
+func TestQueueExhaustedWithoutRestarts(t *testing.T) {
+	opts := DefaultOptions()
+	opts.MaxSteps = 0
+	opts.TotalSteps = 1 << 20
+	res := Synthesize(unsolvableSpec(t), opts)
+	if res.Found {
+		t.Fatal("synthesized a non-reversible function")
+	}
+	if res.Restarts != 0 {
+		t.Errorf("Restarts = %d with the heuristic disabled", res.Restarts)
+	}
+	if res.StopReason != StopQueueExhausted {
+		t.Errorf("StopReason = %v, want %v", res.StopReason, StopQueueExhausted)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"slices"
@@ -30,12 +31,49 @@ type Result struct {
 	Restarts int
 	// Elapsed is the wall-clock synthesis time.
 	Elapsed time.Duration
+	// StopReason records why the run returned; Found and StopReason are
+	// independent (a run can be canceled after finding its best circuit,
+	// in which case Found is true and StopReason is StopCanceled).
+	StopReason StopReason
+	// PeakQueueBytes is the approximate high-water memory of queued
+	// search nodes (node structs plus materialized expansions), in bytes.
+	// See Options.MaxMemory for what the estimate covers.
+	PeakQueueBytes int64
+	// Err is non-nil only when the run was aborted by a recovered internal
+	// invariant panic (StopReason == StopInternalError). The rest of the
+	// Result is zero in that case; the process survives.
+	Err error
 }
 
 // Synthesize runs the RMRLS search on a PPRM expansion and returns the best
-// Toffoli cascade found. The input Spec is not modified.
+// Toffoli cascade found. The input Spec is not modified. It is equivalent
+// to SynthesizeContext with context.Background().
 func Synthesize(spec *pprm.Spec, opts Options) Result {
+	return SynthesizeContext(context.Background(), spec, opts)
+}
+
+// SynthesizeContext is Synthesize with cancellation: the search polls
+// ctx.Done() alongside its wall-clock deadline every pollStride expansions,
+// so a cancel is observed within a bounded (and small) amount of work. On
+// cancellation the Result carries StopReason == StopCanceled together with
+// the best-so-far circuit and the usual telemetry — a canceled run still
+// yields a usable partial answer, matching the paper's best-so-far
+// reporting under its wall-clock timer.
+//
+// Internal invariant panics (pprm, circuit) are recovered and converted
+// into a Result with Err set instead of killing the process, so a server
+// or portfolio driving many searches survives a single bad attempt.
+func SynthesizeContext(ctx context.Context, spec *pprm.Spec, opts Options) (res Result) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = Result{
+				StopReason: StopInternalError,
+				Err:        fmt.Errorf("core: synthesis aborted by internal error: %v", r),
+			}
+		}
+	}()
 	s := newSearcher(spec, opts)
+	s.done = ctx.Done()
 	return s.run()
 }
 
@@ -43,11 +81,17 @@ func Synthesize(spec *pprm.Spec, opts Options) Result {
 // it computes the canonical PPRM expansion and searches. The error is
 // non-nil only if p is not a valid reversible function.
 func SynthesizePerm(p perm.Perm, opts Options) (Result, error) {
+	return SynthesizePermContext(context.Background(), p, opts)
+}
+
+// SynthesizePermContext is SynthesizePerm with cancellation; see
+// SynthesizeContext for the cancellation contract.
+func SynthesizePermContext(ctx context.Context, p perm.Perm, opts Options) (Result, error) {
 	spec, err := pprm.FromPerm(p)
 	if err != nil {
 		return Result{}, err
 	}
-	return Synthesize(spec, opts), nil
+	return SynthesizeContext(ctx, spec, opts), nil
 }
 
 // node is one vertex of the search tree. Interior nodes keep only the
@@ -64,6 +108,27 @@ type node struct {
 	terms    int
 	elim     int // per-step: parent.terms − terms
 	priority float64
+	mem      int64 // approximate bytes charged when queued (see memOf)
+}
+
+// nodeBytes approximates the resident size of one node struct plus its
+// priority-queue entry. Exactness does not matter — the memory ceiling is
+// the paper's coarse 768-MB abort condition, not an allocator.
+const nodeBytes = 96 + 32
+
+// memOf estimates the bytes a node pins while it waits in the queue: its
+// own struct plus its materialized PPRM expansion, if any (most queued
+// nodes are lazy and carry none). Ancestor expansions kept alive through
+// the parent chain are shared among many queued nodes and are not charged;
+// the estimate is deliberately a lower bound, like the node-count stand-in
+// it replaces, but it scales with expansion size instead of pretending all
+// nodes cost the same.
+func memOf(n *node) int64 {
+	b := int64(nodeBytes)
+	if n.spec != nil {
+		b += n.spec.MemBytes()
+	}
+	return b
 }
 
 type searcher struct {
@@ -84,6 +149,10 @@ type searcher struct {
 	nextFirstMove      int
 	deadline           time.Time
 	hasDeadline        bool
+	done               <-chan struct{} // ctx.Done(); nil = not cancellable
+	pollIn             int             // expansions until the next limit poll
+	queueBytes         int64           // approximate bytes of queued nodes
+	peakBytes          int64
 	maxGates           int
 	sortBuf            []scored
 	factorBuf          []bits.Mask
@@ -131,34 +200,122 @@ func newSearcher(spec *pprm.Spec, opts Options) *searcher {
 		s.deadline = time.Now().Add(opts.TimeLimit)
 		s.hasDeadline = true
 	}
+	s.pollIn = 1 // poll on the first expansion, then every pollStride
 	return s
+}
+
+// pollStride is the number of node expansions between deadline/context
+// polls. The countdown is decremented once per priority-queue pop (after
+// the pop, so a restart that reseeds the queue cannot postpone the next
+// poll; the previous code checked s.steps&15 before the pop and so ran a
+// full stride blind after every reseed). Cancellation latency is therefore
+// bounded by pollStride expansions — microseconds to low milliseconds on
+// benchmark-sized specs — plus one poll on the very first expansion so an
+// already-expired deadline or pre-canceled context never starts real work.
+const pollStride = 64
+
+// interrupted polls the wall-clock deadline and the caller's context on
+// the pollStride schedule. It is the single place both limits are checked.
+func (s *searcher) interrupted() (StopReason, bool) {
+	s.pollIn--
+	if s.pollIn > 0 {
+		return StopNone, false
+	}
+	s.pollIn = pollStride
+	if s.done != nil {
+		select {
+		case <-s.done:
+			return StopCanceled, true
+		default:
+		}
+	}
+	if s.hasDeadline && time.Now().After(s.deadline) {
+		return StopDeadline, true
+	}
+	return StopNone, false
+}
+
+// exhaustionReason classifies a search whose queue drained and whose
+// restart heuristic declined to reseed it: if restarts were never
+// configured (or never had an alternative first move to try) the searched
+// subspace itself is empty; otherwise the restart budget ran out.
+func (s *searcher) exhaustionReason() StopReason {
+	if s.opts.MaxSteps <= 0 {
+		return StopQueueExhausted
+	}
+	if s.opts.MaxRestarts > 0 && s.restarts >= s.opts.MaxRestarts {
+		return StopRestartsExhausted
+	}
+	if s.restarts > 0 && s.nextFirstMove >= len(s.firstMoves) {
+		return StopRestartsExhausted
+	}
+	return StopQueueExhausted
+}
+
+// push queues a node and charges its approximate memory.
+func (s *searcher) push(n *node) {
+	n.mem = memOf(n)
+	s.queueBytes += n.mem
+	if s.queueBytes > s.peakBytes {
+		s.peakBytes = s.queueBytes
+	}
+	s.pq.Push(n, n.priority)
+}
+
+// recountQueueBytes rebuilds the memory estimate after a prune discarded
+// an unknown subset of the queue.
+func (s *searcher) recountQueueBytes() {
+	s.queueBytes = 0
+	s.pq.Each(func(n *node) { s.queueBytes += n.mem })
+}
+
+// overMemory enforces Options.MaxMemory, the byte-accounted version of the
+// paper's 768-MB ceiling: when the estimate exceeds the limit the
+// lowest-priority half of the queue is discarded (graceful degradation,
+// same policy as MaxQueue); if even that cannot get back under the ceiling
+// the search must stop, and reports StopMemoryLimit.
+func (s *searcher) overMemory() bool {
+	limit := s.opts.MaxMemory
+	if limit <= 0 || s.queueBytes <= limit {
+		return false
+	}
+	keep := s.pq.Len() / 2
+	if keep == 0 {
+		return true
+	}
+	s.pq.PruneTo(keep)
+	s.recountQueueBytes()
+	return s.queueBytes > limit
 }
 
 func (s *searcher) run() Result {
 	start := time.Now()
+	stop := StopNone
 	if s.root.spec.IsIdentity() {
-		return Result{Circuit: circuit.New(s.n), Found: true, Nodes: 1, Elapsed: time.Since(start)}
+		return Result{Circuit: circuit.New(s.n), Found: true, Nodes: 1,
+			Elapsed: time.Since(start), StopReason: StopSolved}
 	}
 	s.emit(EventPush, s.root)
-	s.pq.Push(s.root, s.root.priority)
+	s.push(s.root)
 
 	for {
-		if s.hasDeadline && s.steps&15 == 0 && time.Now().After(s.deadline) {
-			break
-		}
 		if s.opts.TotalSteps > 0 && s.steps >= s.opts.TotalSteps {
+			stop = StopStepLimit
 			break
 		}
 		if s.bestSol != nil {
 			if s.opts.FirstSolution {
+				stop = StopSolved
 				break
 			}
 			if s.opts.ImproveSteps > 0 && s.steps-s.solSteps >= s.opts.ImproveSteps {
+				stop = StopSolved
 				break
 			}
 		}
 		if s.opts.MaxSteps > 0 && s.stepsSinceRestart >= s.opts.MaxSteps && s.bestSol == nil {
 			if !s.restart() {
+				stop = s.exhaustionReason()
 				break
 			}
 		}
@@ -167,10 +324,20 @@ func (s *searcher) run() Result {
 			if s.bestSol == nil && s.restart() {
 				continue
 			}
+			if s.bestSol != nil {
+				stop = StopSolved
+			} else {
+				stop = s.exhaustionReason()
+			}
 			break
 		}
+		s.queueBytes -= parent.mem
 		s.steps++
 		s.stepsSinceRestart++
+		if r, halt := s.interrupted(); halt {
+			stop = r
+			break
+		}
 		s.emit(EventPop, parent)
 		// A node this deep cannot lead to a circuit better than the best
 		// already found (its children would need depth ≥ bestDepth).
@@ -187,14 +354,21 @@ func (s *searcher) run() Result {
 		s.expand(parent)
 		if s.pq.Len() > s.opts.maxQueue() {
 			s.pq.PruneTo(s.opts.maxQueue() / 2)
+			s.recountQueueBytes()
+		}
+		if s.overMemory() {
+			stop = StopMemoryLimit
+			break
 		}
 	}
 
 	res := Result{
-		Steps:    s.steps,
-		Nodes:    s.nodes,
-		Restarts: s.restarts,
-		Elapsed:  time.Since(start),
+		Steps:          s.steps,
+		Nodes:          s.nodes,
+		Restarts:       s.restarts,
+		Elapsed:        time.Since(start),
+		StopReason:     stop,
+		PeakQueueBytes: s.peakBytes,
 	}
 	if s.bestSol != nil {
 		res.Found = true
@@ -221,6 +395,7 @@ func (s *searcher) restart() bool {
 	s.restarts++
 	s.stepsSinceRestart = 0
 	s.pq.Clear()
+	s.queueBytes = 0
 
 	cs, delta := s.root.spec.SubstituteCopy(fm.target, fm.factor)
 	child := &node{
@@ -237,7 +412,7 @@ func (s *searcher) restart() bool {
 	child.priority = s.priorityOf(child)
 	s.emit(EventRestart, child)
 	s.emit(EventPush, child)
-	s.pq.Push(child, child.priority)
+	s.push(child)
 	return true
 }
 
@@ -358,7 +533,7 @@ func (s *searcher) expand(parent *node) {
 				})
 			}
 			s.emit(EventPush, child)
-			s.pq.Push(child, child.priority)
+			s.push(child)
 		}
 		s.sortBuf = cands[:0]
 	}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -35,6 +36,9 @@ type BenchmarkRow struct {
 	Verified bool // simulation check ran and passed (wide specs skip it)
 	Elapsed  time.Duration
 	Steps    int
+	// Stop records why the synthesis returned; for a failed row it names
+	// the limit that ended the search.
+	Stop core.StopReason
 }
 
 // BenchmarkResult is the reproduction of Table IV.
@@ -42,8 +46,9 @@ type BenchmarkResult struct {
 	Rows []BenchmarkRow
 }
 
-// Benchmarks synthesizes the Table IV suite.
-func Benchmarks(cfg BenchmarkConfig) *BenchmarkResult {
+// Benchmarks synthesizes the Table IV suite. Canceling ctx stops the
+// suite after the in-flight benchmark; completed rows are kept.
+func Benchmarks(ctx context.Context, cfg BenchmarkConfig) *BenchmarkResult {
 	list := bench.TableIV()
 	if len(cfg.Only) > 0 {
 		list = list[:0:0]
@@ -57,12 +62,15 @@ func Benchmarks(cfg BenchmarkConfig) *BenchmarkResult {
 	}
 	res := &BenchmarkResult{}
 	for _, b := range list {
-		res.Rows = append(res.Rows, runBenchmark(b, cfg))
+		if ctx.Err() != nil {
+			break
+		}
+		res.Rows = append(res.Rows, runBenchmark(ctx, b, cfg))
 	}
 	return res
 }
 
-func runBenchmark(b *bench.Benchmark, cfg BenchmarkConfig) BenchmarkRow {
+func runBenchmark(ctx context.Context, b *bench.Benchmark, cfg BenchmarkConfig) BenchmarkRow {
 	row := BenchmarkRow{Bench: b, Gates: -1, Cost: -1}
 	spec, err := b.PPRMSpec()
 	if err != nil {
@@ -85,9 +93,10 @@ func runBenchmark(b *bench.Benchmark, cfg BenchmarkConfig) BenchmarkRow {
 	if rounds == 0 {
 		rounds = 4
 	}
-	r := core.SynthesizePortfolio(spec, opts, rounds)
+	r := core.SynthesizePortfolioContext(ctx, spec, opts, rounds)
 	row.Elapsed = r.Elapsed
 	row.Steps = r.Steps
+	row.Stop = r.StopReason
 	if !r.Found {
 		return row
 	}
@@ -120,7 +129,7 @@ func (r *BenchmarkResult) Write(w io.Writer) {
 			note = "stand-in spec"
 		}
 		if !row.Found {
-			note = "NOT FOUND"
+			note = fmt.Sprintf("NOT FOUND (stop=%s)", row.Stop)
 		} else if row.Verified {
 			note += " ✓"
 		}
@@ -151,8 +160,8 @@ type ExampleRow struct {
 
 // Examples synthesizes the paper's fourteen worked examples and returns
 // the cascades, reproducing the circuits printed in Section V-C (and
-// Figs. 7 and 8).
-func Examples(totalSteps int) []ExampleRow {
+// Figs. 7 and 8). Canceling ctx skips the remaining examples.
+func Examples(ctx context.Context, totalSteps int) []ExampleRow {
 	// Gate counts of the circuits printed in the paper for Examples 1–14.
 	paperGates := map[string]int{
 		"ex1": 4, "shiftright3": 3, "fredkin3": 3, "swap3": 6, "swap4": 7,
@@ -162,6 +171,9 @@ func Examples(totalSteps int) []ExampleRow {
 	}
 	var rows []ExampleRow
 	for _, b := range bench.Examples() {
+		if ctx.Err() != nil {
+			break
+		}
 		row := ExampleRow{Name: b.Name, PaperGates: paperGates[b.Name]}
 		spec, err := b.PPRMSpec()
 		if err != nil {
@@ -171,7 +183,7 @@ func Examples(totalSteps int) []ExampleRow {
 		opts.TotalSteps = totalSteps
 		opts.ImproveSteps = totalSteps / 8
 		opts.TimeLimit = 60 * time.Second
-		r := core.SynthesizePortfolio(spec, opts, 4)
+		r := core.SynthesizePortfolioContext(ctx, spec, opts, 4)
 		if r.Found {
 			row.Found = true
 			row.Circuit = r.Circuit.String()
@@ -230,10 +242,13 @@ func indent(s, prefix string) string {
 
 // Extended synthesizes the extra benchmark families (hwb#, rd#, #sym, …)
 // the paper mentions but does not tabulate; see internal/bench/extended.go.
-func Extended(cfg BenchmarkConfig) *BenchmarkResult {
+func Extended(ctx context.Context, cfg BenchmarkConfig) *BenchmarkResult {
 	res := &BenchmarkResult{}
 	for _, b := range bench.ExtendedFamilies() {
-		res.Rows = append(res.Rows, runBenchmark(b, cfg))
+		if ctx.Err() != nil {
+			break
+		}
+		res.Rows = append(res.Rows, runBenchmark(ctx, b, cfg))
 	}
 	return res
 }

@@ -8,15 +8,21 @@ package exp
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strings"
+
+	"repro/internal/core"
 )
 
 // Histogram is a gate-count distribution: Counts[g] is the number of
-// circuits synthesized with exactly g gates.
+// circuits synthesized with exactly g gates. Failures are tallied by the
+// stop reason that ended each fruitless search, so a table's failure
+// column is diagnosable (budget ran out vs. space exhausted vs. canceled).
 type Histogram struct {
 	Counts []int
 	Total  int
 	Failed int
+	Stops  map[core.StopReason]int
 }
 
 // Add records a circuit of the given size (-1 for a failure).
@@ -30,6 +36,33 @@ func (h *Histogram) Add(gates int) {
 		h.Counts = append(h.Counts, 0)
 	}
 	h.Counts[gates]++
+}
+
+// AddFailure records a failed synthesis together with why it stopped.
+func (h *Histogram) AddFailure(reason core.StopReason) {
+	h.Add(-1)
+	if h.Stops == nil {
+		h.Stops = make(map[core.StopReason]int)
+	}
+	h.Stops[reason]++
+}
+
+// StopSummary renders the failure tally as "step-limit×12 canceled×1"
+// (empty when no failures carry a reason).
+func (h *Histogram) StopSummary() string {
+	if len(h.Stops) == 0 {
+		return ""
+	}
+	reasons := make([]core.StopReason, 0, len(h.Stops))
+	for r := range h.Stops {
+		reasons = append(reasons, r)
+	}
+	sort.Slice(reasons, func(i, j int) bool { return reasons[i] < reasons[j] })
+	parts := make([]string, len(reasons))
+	for i, r := range reasons {
+		parts[i] = fmt.Sprintf("%s×%d", r, h.Stops[r])
+	}
+	return strings.Join(parts, " ")
 }
 
 // Average returns the mean gate count over successful syntheses.

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -26,7 +27,7 @@ func TestHistogram(t *testing.T) {
 }
 
 func TestTable1Sampled(t *testing.T) {
-	res := Table1(Table1Config{Samples: 60, Seed: 1})
+	res := Table1(context.Background(), Table1Config{Samples: 60, Seed: 1})
 	if res.Ours.Total != 60 {
 		t.Fatalf("ran %d functions, want 60", res.Ours.Total)
 	}
@@ -52,7 +53,7 @@ func TestRandomFunctionsSmall(t *testing.T) {
 	cfg := Table2Config(8, 7)
 	cfg.TotalSteps = 30000
 	cfg.ImproveSteps = 4000
-	res := RandomFunctions(cfg)
+	res := RandomFunctions(context.Background(), cfg)
 	if res.Hist.Total != 8 {
 		t.Fatalf("ran %d, want 8", res.Hist.Total)
 	}
@@ -72,7 +73,7 @@ func TestScalabilitySmall(t *testing.T) {
 		MinVars: 6, MaxVars: 8, Seed: 3, TotalSteps: 20000,
 		Library: circuit.GT,
 	}
-	res := Scalability(cfg)
+	res := Scalability(context.Background(), cfg)
 	if len(res.Rows) != 3 {
 		t.Fatalf("rows = %d, want 3", len(res.Rows))
 	}
@@ -89,7 +90,7 @@ func TestScalabilitySmall(t *testing.T) {
 }
 
 func TestBenchmarksSubset(t *testing.T) {
-	res := Benchmarks(BenchmarkConfig{
+	res := Benchmarks(context.Background(), BenchmarkConfig{
 		TotalSteps:   60000,
 		ImproveSteps: 5000,
 		Only:         []string{"graycode6", "xor5", "rd32"},
@@ -129,7 +130,7 @@ func TestFig5Output(t *testing.T) {
 }
 
 func TestExamplesQuickSubset(t *testing.T) {
-	rows := Examples(40000)
+	rows := Examples(context.Background(), 40000)
 	if len(rows) != 14 {
 		t.Fatalf("examples = %d, want 14", len(rows))
 	}

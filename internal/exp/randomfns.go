@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -52,12 +53,14 @@ type RandomResult struct {
 }
 
 // RandomFunctions synthesizes Samples random reversible functions,
-// reproducing Tables II and III.
-func RandomFunctions(cfg RandomConfig) *RandomResult {
+// reproducing Tables II and III. Canceling ctx stops the sweep after the
+// in-flight function; completed samples are kept and failures record the
+// stop reason.
+func RandomFunctions(ctx context.Context, cfg RandomConfig) *RandomResult {
 	start := time.Now()
 	res := &RandomResult{Config: cfg}
 	src := rng.New(cfg.Seed)
-	for i := 0; i < cfg.Samples; i++ {
+	for i := 0; i < cfg.Samples && ctx.Err() == nil; i++ {
 		p := perm.Random(cfg.Vars, src)
 		opts := core.DefaultOptions()
 		opts.MaxGates = cfg.MaxGates
@@ -67,16 +70,16 @@ func RandomFunctions(cfg RandomConfig) *RandomResult {
 		if err != nil {
 			panic(err)
 		}
-		r := core.SynthesizeIterative(spec, opts, cfg.Rounds)
-		if !r.Found {
+		r := core.SynthesizeIterativeContext(ctx, spec, opts, cfg.Rounds)
+		if !r.Found && ctx.Err() == nil {
 			// Rare stragglers (≲0.5%): fall back to the portfolio, the
 			// deterministic stand-in for the paper's wall-clock headroom.
-			r = core.SynthesizePortfolio(spec, opts, 0)
+			r = core.SynthesizePortfolioContext(ctx, spec, opts, 0)
 		}
 		if r.Found {
 			res.Hist.Add(r.Circuit.Len())
 		} else {
-			res.Hist.Add(-1)
+			res.Hist.AddFailure(r.StopReason)
 		}
 	}
 	res.Elapsed = time.Since(start)
@@ -97,4 +100,7 @@ func (r *RandomResult) Write(w io.Writer) {
 		r.Config.Vars, r.Hist.Total-r.Hist.Failed, r.Hist.Failed,
 		100*float64(r.Hist.Failed)/float64(max(r.Hist.Total, 1)),
 		r.Hist.Average(), r.Elapsed.Round(time.Millisecond))
+	if s := r.Hist.StopSummary(); s != "" {
+		fmt.Fprintf(w, "failures by stop reason: %s\n", s)
+	}
 }

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -61,14 +62,16 @@ type ScalabilityResult struct {
 	Rows   []ScalabilityRow
 }
 
-// Scalability runs the random-circuit resynthesis sweep.
-func Scalability(cfg ScalabilityConfig) *ScalabilityResult {
+// Scalability runs the random-circuit resynthesis sweep. Canceling ctx
+// ends the sweep after the in-flight synthesis; completed rows are kept
+// and failures record the stop reason.
+func Scalability(ctx context.Context, cfg ScalabilityConfig) *ScalabilityResult {
 	res := &ScalabilityResult{Config: cfg}
 	src := rng.New(cfg.Seed)
-	for n := cfg.MinVars; n <= cfg.MaxVars; n++ {
+	for n := cfg.MinVars; n <= cfg.MaxVars && ctx.Err() == nil; n++ {
 		row := ScalabilityRow{Vars: n}
 		start := time.Now()
-		for i := 0; i < cfg.SamplesPerVar; i++ {
+		for i := 0; i < cfg.SamplesPerVar && ctx.Err() == nil; i++ {
 			gates := 1 + src.Intn(cfg.MaxGateCount)
 			c := circuit.Random(n, gates, cfg.Library, src)
 			spec := c.PPRM()
@@ -76,11 +79,11 @@ func Scalability(cfg ScalabilityConfig) *ScalabilityResult {
 			opts.FirstSolution = true
 			opts.TotalSteps = cfg.TotalSteps
 			opts.MaxGates = 40
-			r := core.Synthesize(spec, opts)
+			r := core.SynthesizeContext(ctx, spec, opts)
 			if r.Found {
 				row.Hist.Add(r.Circuit.Len())
 			} else {
-				row.Hist.Add(-1)
+				row.Hist.AddFailure(r.StopReason)
 			}
 		}
 		row.Elapsed = time.Since(start)
@@ -110,4 +113,15 @@ func (r *ScalabilityResult) Write(w io.Writer) {
 	writeTable(w, header, rows)
 	fmt.Fprintf(w, "random circuits with at most %d gates, %d samples per variable count\n",
 		r.Config.MaxGateCount, r.Config.SamplesPerVar)
+	var stops Histogram
+	for _, row := range r.Rows {
+		for reason, n := range row.Hist.Stops {
+			for i := 0; i < n; i++ {
+				stops.AddFailure(reason)
+			}
+		}
+	}
+	if s := stops.StopSummary(); s != "" {
+		fmt.Fprintf(w, "failures by stop reason: %s\n", s)
+	}
 }

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -51,7 +52,8 @@ type Table1Result struct {
 
 // Table1 synthesizes reversible functions of three variables with RMRLS
 // (NCT library), the MMD baseline, and exact BFS, reproducing Table I.
-func Table1(cfg Table1Config) *Table1Result {
+// Canceling ctx skips the remaining functions; completed ones are kept.
+func Table1(ctx context.Context, cfg Table1Config) *Table1Result {
 	start := time.Now()
 	res := &Table1Result{}
 
@@ -68,23 +70,26 @@ func Table1(cfg Table1Config) *Table1Result {
 	opts.MaxGates = 20
 
 	run := func(p perm.Perm) {
+		if ctx.Err() != nil {
+			return
+		}
 		spec, err := pprm.FromPerm(p)
 		if err != nil {
 			panic(err)
 		}
-		r := core.Synthesize(spec, opts)
-		if !r.Found {
+		r := core.SynthesizeContext(ctx, spec, opts)
+		if !r.Found && ctx.Err() == nil {
 			boosted := opts
 			boosted.TotalSteps *= 20
 			// A fraction of a percent of functions resist the default
 			// configuration within the budget; the portfolio recovers
 			// them (the paper's 60-s wall clock plays the same role).
-			r = core.SynthesizePortfolio(spec, boosted, 0)
+			r = core.SynthesizePortfolioContext(ctx, spec, boosted, 0)
 		}
 		if r.Found {
 			res.Ours.Add(r.Circuit.Len())
 		} else {
-			res.Ours.Add(-1)
+			res.Ours.AddFailure(r.StopReason)
 		}
 		res.MMD.Add(mmd.Synthesize(p, mmd.Bidirectional).Len())
 		if sres, err := spectral.Synthesize(p, 40); err == nil && sres.Found {
@@ -186,4 +191,7 @@ func (r *Table1Result) Write(w io.Writer) {
 	writeTable(w, header, rows)
 	fmt.Fprintf(w, "functions: %d  failed: %d  elapsed: %v\n",
 		r.Ours.Total, r.Ours.Failed, r.Elapsed.Round(time.Millisecond))
+	if s := r.Ours.StopSummary(); s != "" {
+		fmt.Fprintf(w, "failures by stop reason: %s\n", s)
+	}
 }

@@ -62,6 +62,23 @@ func (s *Spec) Terms() int {
 	return n
 }
 
+// MemBytes approximates the resident size of the Spec in bytes: the struct
+// and slice headers plus the backing term storage of every output. The
+// synthesis search uses it to enforce the paper's memory ceiling on queued
+// expansions, so it counts capacity (what the allocator holds), not length.
+func (s *Spec) MemBytes() int64 {
+	const (
+		specHeader    = 8 + 24 // N + Out slice header
+		termSetHeader = 24     // terms slice header
+		termBytes     = 4      // one bits.Mask
+	)
+	b := int64(specHeader)
+	for i := range s.Out {
+		b += termSetHeader + int64(cap(s.Out[i].terms))*termBytes
+	}
+	return b
+}
+
 // OutputIsIdentity reports whether output i has been reduced to v_i.
 func (s *Spec) OutputIsIdentity(i int) bool {
 	return s.Out[i].Len() == 1 && s.Out[i].Has(bits.Bit(i))

@@ -82,6 +82,14 @@ func (q *Queue[T]) Pop() (T, bool) {
 	return top, true
 }
 
+// Each calls f for every queued item, in unspecified (heap-array) order.
+// The search uses it to rebuild memory accounting after a prune.
+func (q *Queue[T]) Each(f func(T)) {
+	for i := range q.items {
+		f(q.items[i].value)
+	}
+}
+
 // Peek returns the highest-priority item without removing it.
 func (q *Queue[T]) Peek() (T, bool) {
 	if len(q.items) == 0 {

@@ -111,6 +111,81 @@ func TestPruneToNoOpWhenSmall(t *testing.T) {
 	}
 }
 
+// TestPruneToHeapInvariant checks the max-heap property directly on the
+// backing array after a prune, rather than inferring it from pop order:
+// every parent must have precedence over both children.
+func TestPruneToHeapInvariant(t *testing.T) {
+	src := rng.New(31)
+	for trial := 0; trial < 10; trial++ {
+		var q Queue[int]
+		n := 500 + src.Intn(500)
+		for i := 0; i < n; i++ {
+			q.Push(i, float64(src.Intn(40)))
+		}
+		keep := 1 + src.Intn(n)
+		q.PruneTo(keep)
+		for i := 1; i < len(q.items); i++ {
+			parent := (i - 1) / 2
+			if q.less(i, parent) {
+				t.Fatalf("trial %d: heap property violated at index %d after PruneTo(%d)",
+					trial, i, keep)
+			}
+		}
+	}
+}
+
+// TestPruneToKeepsFIFOWithinTies: when the cut falls inside a group of
+// equal priorities, the earlier-inserted entries must survive — the same
+// FIFO rule that orders pops.
+func TestPruneToKeepsFIFOWithinTies(t *testing.T) {
+	var q Queue[int]
+	for i := 0; i < 20; i++ {
+		q.Push(i, 3.0) // all tied
+	}
+	q.PruneTo(7)
+	for want := 0; want < 7; want++ {
+		got, ok := q.Pop()
+		if !ok || got != want {
+			t.Fatalf("post-prune pop = %d (%v), want %d (insertion order)", got, ok, want)
+		}
+	}
+}
+
+func TestPruneToZero(t *testing.T) {
+	var q Queue[int]
+	q.Push(1, 1)
+	q.Push(2, 2)
+	q.PruneTo(0)
+	if q.Len() != 0 {
+		t.Errorf("Len after PruneTo(0) = %d", q.Len())
+	}
+	if _, ok := q.Pop(); ok {
+		t.Error("Pop after PruneTo(0) returned an item")
+	}
+}
+
+// TestEachVisitsAll: Each must visit every queued item exactly once —
+// the searcher relies on it to recount queue memory after a prune.
+func TestEachVisitsAll(t *testing.T) {
+	var q Queue[int]
+	seen := make(map[int]int)
+	q.Each(func(int) { t.Error("Each on empty queue called f") })
+	for i := 0; i < 50; i++ {
+		q.Push(i, float64(i%7))
+	}
+	q.Pop()
+	q.Pop()
+	q.Each(func(v int) { seen[v]++ })
+	if len(seen) != q.Len() {
+		t.Fatalf("Each visited %d distinct items, queue holds %d", len(seen), q.Len())
+	}
+	for v, c := range seen {
+		if c != 1 {
+			t.Errorf("Each visited %d %d times", v, c)
+		}
+	}
+}
+
 func TestPruneKeepsHeapValid(t *testing.T) {
 	// Store each item's priority as its value so pop order is checkable
 	// after a prune.

@@ -1,6 +1,7 @@
 package rmrls
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bench"
@@ -31,6 +32,9 @@ type (
 	Options = core.Options
 	// Result is a synthesis outcome.
 	Result = core.Result
+	// StopReason records why a synthesis run returned (solved, canceled,
+	// budget exhausted, …); see the Stop* constants.
+	StopReason = core.StopReason
 	// Event is one step of the search trace.
 	Event = core.Event
 	// TruthTable is a (possibly irreversible) multi-output function.
@@ -55,6 +59,20 @@ const (
 	NCT = circuit.NCT
 )
 
+// Stop reasons (see core.StopReason). Every completed run reports one;
+// a non-Found Result is diagnosable by inspecting it.
+const (
+	StopNone              = core.StopNone
+	StopSolved            = core.StopSolved
+	StopQueueExhausted    = core.StopQueueExhausted
+	StopDeadline          = core.StopDeadline
+	StopCanceled          = core.StopCanceled
+	StopStepLimit         = core.StopStepLimit
+	StopMemoryLimit       = core.StopMemoryLimit
+	StopRestartsExhausted = core.StopRestartsExhausted
+	StopInternalError     = core.StopInternalError
+)
+
 // DefaultOptions returns the recommended synthesis configuration (greedy
 // pruning, additional substitutions, restarts).
 func DefaultOptions() Options { return core.DefaultOptions() }
@@ -67,10 +85,22 @@ func Synthesize(p Perm, opts Options) (Result, error) {
 	return core.SynthesizePerm(p, opts)
 }
 
+// SynthesizeContext is Synthesize with cancellation: the search polls
+// ctx.Done() alongside its deadline, and a canceled run returns promptly
+// with the best-so-far circuit and StopReason == StopCanceled.
+func SynthesizeContext(ctx context.Context, p Perm, opts Options) (Result, error) {
+	return core.SynthesizePermContext(ctx, p, opts)
+}
+
 // SynthesizeSpec runs RMRLS on a PPRM expansion directly; required for
 // functions too wide to tabulate (e.g. the 30-wire shift28 benchmark).
 func SynthesizeSpec(s *Spec, opts Options) Result {
 	return core.Synthesize(s, opts)
+}
+
+// SynthesizeSpecContext is SynthesizeSpec with cancellation.
+func SynthesizeSpecContext(ctx context.Context, s *Spec, opts Options) Result {
+	return core.SynthesizeContext(ctx, s, opts)
 }
 
 // Verify checks that a circuit realizes the function p.
@@ -145,10 +175,24 @@ func SynthesizeIterative(s *Spec, opts Options, rounds int) Result {
 	return core.SynthesizeIterative(s, opts, rounds)
 }
 
-// SynthesizePortfolio runs complementary search configurations and
-// tightening; the most robust entry point for hard benchmark functions.
+// SynthesizeIterativeContext is SynthesizeIterative with cancellation.
+func SynthesizeIterativeContext(ctx context.Context, s *Spec, opts Options, rounds int) Result {
+	return core.SynthesizeIterativeContext(ctx, s, opts, rounds)
+}
+
+// SynthesizePortfolio runs complementary search configurations in
+// parallel, then tightening; the most robust entry point for hard
+// benchmark functions. The merged result is deterministic under
+// deterministic budgets regardless of goroutine scheduling.
 func SynthesizePortfolio(s *Spec, opts Options, rounds int) Result {
 	return core.SynthesizePortfolio(s, opts, rounds)
+}
+
+// SynthesizePortfolioContext is SynthesizePortfolio with cancellation:
+// canceling ctx stops every configuration and returns the best circuit
+// found so far.
+func SynthesizePortfolioContext(ctx context.Context, s *Spec, opts Options, rounds int) Result {
+	return core.SynthesizePortfolioContext(ctx, s, opts, rounds)
 }
 
 // PeepholeOptimizer performs local window resynthesis against provably

@@ -1,6 +1,7 @@
 package rmrls
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -316,6 +317,51 @@ func TestPostprocessPipelineProperty(t *testing.T) {
 			t.Fatalf("trial %d NCT: %v", trial, err)
 		}
 	}
+}
+
+// TestContextFacade exercises the context-aware entry points and the
+// re-exported stop-reason constants through the public API alone.
+func TestContextFacade(t *testing.T) {
+	p := RandomFunction(6, 7)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts := DefaultOptions()
+	opts.TotalSteps = 1 << 30
+	res, err := SynthesizeContext(ctx, p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found || res.StopReason != StopCanceled {
+		t.Errorf("canceled run: found=%v stop=%v", res.Found, res.StopReason)
+	}
+	if res.StopReason.String() != "canceled" {
+		t.Errorf("StopReason.String() = %q", res.StopReason.String())
+	}
+
+	solved, err := SynthesizeContext(context.Background(), MustParseSpec("{1, 0, 3, 2}"), DefaultOptions())
+	if err != nil || !solved.Found || solved.StopReason != StopSolved {
+		t.Errorf("solved run: err=%v found=%v stop=%v", err, solved.Found, solved.StopReason)
+	}
+
+	spec, err := PPRMOf(RandomFunction(4, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := SynthesizePortfolioContext(context.Background(), spec, opts2(20000), 2)
+	if !port.Found || port.StopReason != StopSolved {
+		t.Errorf("portfolio: found=%v stop=%v", port.Found, port.StopReason)
+	}
+	iter := SynthesizeIterativeContext(context.Background(), spec, opts2(20000), 2)
+	if !iter.Found || iter.StopReason != StopSolved {
+		t.Errorf("iterative: found=%v stop=%v", iter.Found, iter.StopReason)
+	}
+}
+
+func opts2(steps int) Options {
+	o := DefaultOptions()
+	o.TotalSteps = steps
+	o.ImproveSteps = steps / 10
+	return o
 }
 
 func TestSynthesizePortfolioFacade(t *testing.T) {
