@@ -1,0 +1,92 @@
+// Command benchjson runs the search benchmark-trajectory harness
+// (internal/bench.RunSearchBench) and writes the machine-readable report
+// consumed as BENCH_search.json: seeded, deterministic workloads with the
+// transposition table off and on, plus the paper's fourteen worked
+// examples. See docs/PERFORMANCE.md for how to read the output.
+//
+// Usage:
+//
+//	benchjson [-out BENCH_search.json] [-seed 1] [-table1 400]
+//	          [-random4 60] [-steps 50000] [-examplesteps 150000]
+//	          [-skip-examples]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		out          = fs.String("out", "BENCH_search.json", "output file (\"-\" for stdout)")
+		seed         = fs.Uint64("seed", 0, "workload seed (0 = default 1)")
+		table1       = fs.Int("table1", 0, "3-variable Table-I sample size (0 = default 400)")
+		random4      = fs.Int("random4", 0, "4-variable random sample size (0 = default 60)")
+		steps        = fs.Int("steps", 0, "per-function expansion budget (0 = default 50000)")
+		exampleSteps = fs.Int("examplesteps", 0, "per-example expansion budget (0 = default 150000)")
+		skipExamples = fs.Bool("skip-examples", false, "skip the worked-examples comparison")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+
+	cfg := bench.SearchBenchConfig{
+		Seed:         *seed,
+		Table1Sample: *table1,
+		Random4:      *random4,
+		TotalSteps:   *steps,
+		ExampleSteps: *exampleSteps,
+		SkipExamples: *skipExamples,
+	}
+	report, err := bench.RunSearchBench(ctx, cfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		if ctx.Err() != nil {
+			return 3
+		}
+		return 1
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		_, err = stdout.Write(data)
+	} else {
+		err = os.WriteFile(*out, data, 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
+
+	for _, w := range report.Workloads {
+		fmt.Fprintf(stderr, "%-12s  expansions %8d -> %8d (-%.1f%%)  hit rate %.2f  allocs/exp %.1f -> %.1f\n",
+			w.Workload, w.Off.Expansions, w.On.Expansions, 100*w.ExpansionReduction,
+			w.On.DedupHitRate, w.Off.AllocsPerExpansion, w.On.AllocsPerExpansion)
+	}
+	for _, e := range report.Examples {
+		fmt.Fprintf(stderr, "%-12s  gates %2d -> %2d (paper %2d)  steps %7d -> %7d\n",
+			e.Name, e.GatesOff, e.GatesOn, e.PaperGates, e.StepsOff, e.StepsOn)
+	}
+	return 0
+}

@@ -63,6 +63,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		memMB     = fs.Int64("mem", 768, "memory ceiling for queued search nodes, in MiB (0 = unlimited; paper: 768)")
 		greedyK   = fs.Int("k", 4, "greedy pruning width (0 = keep all substitutions)")
 		basic     = fs.Bool("basic", false, "use the basic algorithm (no heuristics)")
+		nodedup   = fs.Bool("nodedup", false, "disable the transposition-table search deduplication")
 		library   = fs.String("library", "gt", "gate library: gt or nct")
 		first     = fs.Bool("first", false, "stop at the first solution found")
 		simplify  = fs.Bool("simplify", false, "apply peephole simplification to the result")
@@ -100,6 +101,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	opts.MaxMemory = *memMB << 20
 	opts.GreedyK = *greedyK
 	opts.FirstSolution = *first
+	if *nodedup {
+		opts.Dedup = false
+	}
 	switch strings.ToLower(*library) {
 	case "gt":
 	case "nct":
@@ -140,6 +144,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if !*quiet {
 		fmt.Fprintf(stdout, "# gates=%d quantum-cost=%d steps=%d nodes=%d elapsed=%v stop=%s\n",
 			c.Len(), c.QuantumCost(), res.Steps, res.Nodes, res.Elapsed.Round(time.Microsecond), res.StopReason)
+		if probes := res.DedupHits + res.DedupMisses; probes > 0 {
+			fmt.Fprintf(stdout, "# dedup: %d/%d duplicate states pruned (%.1f%% hit rate, %d evictions)\n",
+				res.DedupHits, probes, 100*float64(res.DedupHits)/float64(probes), res.DedupEvictions)
+		}
 		if p != nil && spec.N <= 22 {
 			if err := core.Verify(c, p); err != nil {
 				fmt.Fprintln(stderr, "rmrls: VERIFICATION FAILED:", err)

@@ -1,0 +1,34 @@
+package rmrls_test
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro"
+)
+
+// ExampleSynthesizeContext synthesizes the paper's Fig. 1 function under a
+// cancellable context. The context bounds the whole run; a run canceled
+// mid-search still returns a valid Result carrying the best-so-far circuit
+// and StopReason == StopCanceled.
+func ExampleSynthesizeContext() {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	spec := rmrls.MustParseSpec("{1, 0, 7, 2, 3, 4, 5, 6}")
+	res, err := rmrls.SynthesizeContext(ctx, spec, rmrls.DefaultOptions())
+	if err != nil || !res.Found {
+		fmt.Println("no circuit:", res.StopReason, err)
+		return
+	}
+	if err := rmrls.Verify(res.Circuit, spec); err != nil {
+		fmt.Println("verification failed:", err)
+		return
+	}
+	fmt.Printf("%s\n", res.Circuit)
+	fmt.Printf("gates=%d stop=%s\n", res.Circuit.Len(), res.StopReason)
+	// Output:
+	// TOF1(a) TOF3(c,a,b) TOF3(b,a,c)
+	// gates=3 stop=solved
+}

@@ -113,6 +113,30 @@ type Options struct {
 	// ceiling. Result.PeakQueueBytes reports the high-water mark.
 	MaxMemory int64
 
+	// Dedup enables the transposition table: child states whose full PPRM
+	// expansion hash-matches a state already queued or solved at the same
+	// or a shallower depth are pruned instead of cloned and enqueued. The
+	// search tree re-derives identical states along different substitution
+	// orders, so deduplication typically removes a large fraction of the
+	// queue traffic at the cost of one map probe per candidate; measured
+	// numbers are tracked in BENCH_search.json (see docs/PERFORMANCE.md).
+	//
+	// This is a documented deviation from the paper, whose Fig. 4
+	// pseudocode has no visited check (DESIGN.md, deviation 8). The table
+	// is cleared on every restart and un-learns nodes evicted by the
+	// queue/memory caps, so it never permanently blocks a path to an
+	// unexplored state, and its depth-aware replacement never blocks a
+	// strictly shorter path to any state. Off in the zero value (the
+	// literal Fig. 4 algorithm); on in DefaultOptions.
+	Dedup bool
+
+	// DedupMaxEntries caps the transposition table size; when the cap is
+	// reached the table is cleared wholesale and counts the dropped
+	// entries in Result.DedupEvictions. 0 selects the default of 2^20
+	// entries (≈ 32 MB under the MaxMemory accounting). The table's bytes
+	// count toward MaxMemory regardless of this cap.
+	DedupMaxEntries int
+
 	// Trace, when non-nil, receives an event for every node push, pop,
 	// and solution. Used to reproduce the Fig. 5 search walkthrough.
 	Trace func(Event)
@@ -192,14 +216,23 @@ func DefaultOptions() Options {
 		Gamma:        0.1,
 		LinearElim:   true,
 		MaxMemory:    768 << 20, // the paper's memory ceiling
+		Dedup:        true,
 	}
 }
 
 // BasicOptions returns the basic algorithm of Fig. 4 without the Section
-// IV-E heuristics (complete given enough time and memory, practical only up
-// to about five variables).
+// IV-E heuristics and without the transposition table (complete given
+// enough time and memory, practical only up to about five variables).
 func BasicOptions() Options {
 	return Options{}
+}
+
+// dedupMaxEntries resolves the transposition-table size cap.
+func (o *Options) dedupMaxEntries() int {
+	if o.DedupMaxEntries > 0 {
+		return o.DedupMaxEntries
+	}
+	return 1 << 20
 }
 
 func (o *Options) weights() (a, b, g float64) {

@@ -102,6 +102,9 @@ func SynthesizePortfolioContext(ctx context.Context, spec *pprm.Spec, opts Optio
 	best.Steps += refined.Steps
 	best.Nodes += refined.Nodes
 	best.Restarts += refined.Restarts
+	best.DedupHits += refined.DedupHits
+	best.DedupMisses += refined.DedupMisses
+	best.DedupEvictions += refined.DedupEvictions
 	if refined.Found && refined.Circuit.Len() < best.Circuit.Len() {
 		best.Circuit = refined.Circuit
 	}
@@ -126,6 +129,9 @@ func mergeResults(results []Result, canceled bool) Result {
 		merged.Steps += r.Steps
 		merged.Nodes += r.Nodes
 		merged.Restarts += r.Restarts
+		merged.DedupHits += r.DedupHits
+		merged.DedupMisses += r.DedupMisses
+		merged.DedupEvictions += r.DedupEvictions
 		if r.PeakQueueBytes > merged.PeakQueueBytes {
 			merged.PeakQueueBytes = r.PeakQueueBytes
 		}
@@ -183,6 +189,9 @@ func synthesizeTightening(ctx context.Context, spec *pprm.Spec, opts Options, ga
 		out.Nodes += r.Nodes
 		out.Restarts += r.Restarts
 		out.Elapsed += r.Elapsed
+		out.DedupHits += r.DedupHits
+		out.DedupMisses += r.DedupMisses
+		out.DedupEvictions += r.DedupEvictions
 		if !r.Found {
 			break
 		}
@@ -244,6 +253,9 @@ func SynthesizeIterativeContext(ctx context.Context, spec *pprm.Spec, opts Optio
 		best.Nodes += r.Nodes
 		best.Restarts += r.Restarts
 		best.Elapsed += r.Elapsed
+		best.DedupHits += r.DedupHits
+		best.DedupMisses += r.DedupMisses
+		best.DedupEvictions += r.DedupEvictions
 		if r.PeakQueueBytes > best.PeakQueueBytes {
 			best.PeakQueueBytes = r.PeakQueueBytes
 		}

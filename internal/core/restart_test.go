@@ -12,6 +12,7 @@ import (
 // and the run must end with StopRestartsExhausted.
 func TestRestartsExhaustedByMaxRestarts(t *testing.T) {
 	opts := DefaultOptions()
+	opts.Dedup = false // the transposition table prunes this spec's do-nothing first moves
 	opts.MaxSteps = 5
 	opts.MaxRestarts = 1
 	opts.TotalSteps = 1 << 20
@@ -33,6 +34,7 @@ func TestRestartsExhaustedByMaxRestarts(t *testing.T) {
 // moves, so exactly two restarts fire before the pool drains.
 func TestRestartsExhaustedByFirstMoves(t *testing.T) {
 	opts := DefaultOptions()
+	opts.Dedup = false // keep the full three-move restart pool this test counts
 	opts.MaxSteps = 5
 	opts.MaxRestarts = 0
 	opts.TotalSteps = 1 << 20
@@ -53,6 +55,7 @@ func TestRestartsExhaustedByFirstMoves(t *testing.T) {
 // reseeds from the next first move instead of giving up.
 func TestRestartAfterQueueEmpty(t *testing.T) {
 	opts := DefaultOptions()
+	opts.Dedup = false      // keep the duplicate states that let the queue drain into a restart
 	opts.MaxSteps = 1 << 20 // never triggers the step-count restart
 	opts.MaxRestarts = 0
 	opts.TotalSteps = 1 << 20

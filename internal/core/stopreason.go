@@ -29,9 +29,10 @@ const (
 	StopCanceled
 	// StopStepLimit: the deterministic TotalSteps budget was spent.
 	StopStepLimit
-	// StopMemoryLimit: the approximate queued-node memory exceeded
-	// MaxMemory and pruning could not bring it back under the ceiling
-	// (the paper's 768-MB abort condition).
+	// StopMemoryLimit: the approximate accounted memory (queued nodes
+	// plus the transposition table) exceeded MaxMemory, and neither
+	// pruning the queue nor resetting the table brought it back under
+	// the ceiling (the paper's 768-MB abort condition).
 	StopMemoryLimit
 	// StopRestartsExhausted: the restart heuristic ran out of alternative
 	// first-level substitutions, or hit MaxRestarts, with no solution.

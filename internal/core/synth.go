@@ -25,7 +25,9 @@ type Result struct {
 	Found bool
 	// Steps is the number of node expansions (priority-queue pops).
 	Steps int
-	// Nodes is the number of search-tree nodes materialized.
+	// Nodes is the number of search-tree nodes created (enqueued children
+	// plus solutions; candidates pruned before allocation are not
+	// counted).
 	Nodes int
 	// Restarts is how many times the restart heuristic fired.
 	Restarts int
@@ -36,9 +38,22 @@ type Result struct {
 	// in which case Found is true and StopReason is StopCanceled).
 	StopReason StopReason
 	// PeakQueueBytes is the approximate high-water memory of queued
-	// search nodes (node structs plus materialized expansions), in bytes.
-	// See Options.MaxMemory for what the estimate covers.
+	// search nodes (node structs plus materialized expansions) plus the
+	// transposition table, in bytes. See Options.MaxMemory for what the
+	// estimate covers.
 	PeakQueueBytes int64
+	// DedupHits counts candidate children pruned by the transposition
+	// table: their full PPRM state had already been queued or solved at
+	// the same or a shallower depth. Zero when Options.Dedup is off.
+	DedupHits int64
+	// DedupMisses counts transposition-table probes that found no
+	// equal-or-shallower entry; DedupHits+DedupMisses is the total number
+	// of probed candidates. Zero when Options.Dedup is off.
+	DedupMisses int64
+	// DedupEvictions counts transposition-table entries dropped by
+	// restarts, the DedupMaxEntries cap, or memory-pressure resets. Zero
+	// when Options.Dedup is off.
+	DedupEvictions int64
 	// Err is non-nil only when the run was aborted by a recovered internal
 	// invariant panic (StopReason == StopInternalError). The rest of the
 	// Result is zero in that case; the process survives.
@@ -108,7 +123,8 @@ type node struct {
 	terms    int
 	elim     int // per-step: parent.terms − terms
 	priority float64
-	mem      int64 // approximate bytes charged when queued (see memOf)
+	mem      int64  // approximate bytes charged when queued (see memOf)
+	hash     uint64 // transposition hash of the node's PPRM state
 }
 
 // nodeBytes approximates the resident size of one node struct plus its
@@ -154,6 +170,8 @@ type searcher struct {
 	queueBytes         int64           // approximate bytes of queued nodes
 	peakBytes          int64
 	maxGates           int
+	tt                 *transpo // transposition table; nil when Dedup is off
+	free               []*node  // recycled node structs (allocation diet)
 	sortBuf            []scored
 	factorBuf          []bits.Mask
 	deltaBuf           []bits.Mask
@@ -170,6 +188,7 @@ type scored struct {
 	terms    int
 	elim     int
 	priority float64
+	hash     uint64 // child state hash (SubstituteProbe)
 	admit    bool
 }
 
@@ -196,6 +215,11 @@ func newSearcher(spec *pprm.Spec, opts Options) *searcher {
 		priority: math.Inf(1),
 	}
 	s.nodes = 1
+	if opts.Dedup {
+		s.tt = newTranspo(opts.dedupMaxEntries())
+		s.root.hash = s.root.spec.Hash()
+		s.tt.record(s.root.hash, 0)
+	}
 	if opts.TimeLimit > 0 {
 		s.deadline = time.Now().Add(opts.TimeLimit)
 		s.hasDeadline = true
@@ -252,12 +276,63 @@ func (s *searcher) exhaustionReason() StopReason {
 	return StopQueueExhausted
 }
 
-// push queues a node and charges its approximate memory.
+// newNode hands out a node struct, reusing one from the free list when
+// available. The hot path allocates one node per *pushed* child; recycled
+// depth-cutoff pops and queue prunes feed the list, so steady-state search
+// churn stays off the garbage collector.
+func (s *searcher) newNode() *node {
+	if k := len(s.free); k > 0 {
+		nd := s.free[k-1]
+		s.free = s.free[:k-1]
+		*nd = node{}
+		return nd
+	}
+	return &node{}
+}
+
+// recycle returns a node to the free list. Only nodes that provably have
+// no remaining references may be recycled: queued-but-unexpanded nodes
+// dropped by a prune or restart, and popped nodes discarded by the
+// best-depth cutoff before expansion (they have no children, and solutions
+// are never queued, so nothing points at them).
+func (s *searcher) recycle(nd *node) {
+	nd.parent = nil
+	nd.spec = nil
+	s.free = append(s.free, nd)
+}
+
+// discardQueued releases a queued-but-unexpanded node dropped by a queue
+// or memory prune: its transposition entry is removed (it was never
+// expanded — leaving it marked as visited could block the only remaining
+// path to that state) and its struct is recycled.
+func (s *searcher) discardQueued(n *node) {
+	if s.tt != nil {
+		s.tt.forget(n.hash, n.depth)
+	}
+	s.recycle(n)
+}
+
+// totalBytes is the MaxMemory estimate: queued nodes plus the
+// transposition table.
+func (s *searcher) totalBytes() int64 {
+	b := s.queueBytes
+	if s.tt != nil {
+		b += s.tt.bytes()
+	}
+	return b
+}
+
+// push queues a node, charges its approximate memory, and records its
+// state in the transposition table so later rediscoveries at the same or
+// greater depth are pruned.
 func (s *searcher) push(n *node) {
 	n.mem = memOf(n)
 	s.queueBytes += n.mem
-	if s.queueBytes > s.peakBytes {
-		s.peakBytes = s.queueBytes
+	if s.tt != nil {
+		s.tt.record(n.hash, n.depth)
+	}
+	if t := s.totalBytes(); t > s.peakBytes {
+		s.peakBytes = t
 	}
 	s.pq.Push(n, n.priority)
 }
@@ -270,22 +345,44 @@ func (s *searcher) recountQueueBytes() {
 }
 
 // overMemory enforces Options.MaxMemory, the byte-accounted version of the
-// paper's 768-MB ceiling: when the estimate exceeds the limit the
-// lowest-priority half of the queue is discarded (graceful degradation,
-// same policy as MaxQueue); if even that cannot get back under the ceiling
-// the search must stop, and reports StopMemoryLimit.
+// paper's 768-MB ceiling: when the estimate (queued nodes plus the
+// transposition table) exceeds the limit the lowest-priority half of the
+// queue is discarded (graceful degradation, same policy as MaxQueue); if
+// that is not enough the transposition table is dropped too; if even that
+// cannot get back under the ceiling the search must stop, and reports
+// StopMemoryLimit.
 func (s *searcher) overMemory() bool {
 	limit := s.opts.MaxMemory
-	if limit <= 0 || s.queueBytes <= limit {
+	if limit <= 0 || s.totalBytes() <= limit {
 		return false
 	}
 	keep := s.pq.Len() / 2
-	if keep == 0 {
-		return true
+	if keep > 0 {
+		s.pq.PruneToFunc(keep, s.discardQueued)
+		s.recountQueueBytes()
 	}
-	s.pq.PruneTo(keep)
-	s.recountQueueBytes()
-	return s.queueBytes > limit
+	if s.totalBytes() <= limit {
+		return false
+	}
+	if s.tt != nil && s.tt.bytes() > 0 {
+		s.tt.reset()
+		s.rerecordQueued()
+	}
+	return s.totalBytes() > limit
+}
+
+// rerecordQueued re-seeds a freshly cleared transposition table with the
+// states that are still queued (plus the root and best solution), so the
+// invariant "every queued node's state is recorded" survives a reset.
+func (s *searcher) rerecordQueued() {
+	if s.tt == nil {
+		return
+	}
+	s.tt.record(s.root.hash, 0)
+	if s.bestSol != nil {
+		s.tt.record(s.bestSol.hash, s.bestSol.depth)
+	}
+	s.pq.Each(func(n *node) { s.tt.record(n.hash, n.depth) })
 }
 
 func (s *searcher) run() Result {
@@ -340,8 +437,12 @@ func (s *searcher) run() Result {
 		}
 		s.emit(EventPop, parent)
 		// A node this deep cannot lead to a circuit better than the best
-		// already found (its children would need depth ≥ bestDepth).
+		// already found (its children would need depth ≥ bestDepth). It
+		// was never expanded, so nothing references it: recycle. Its
+		// transposition entry stays — any rediscovery at this depth or
+		// deeper would be cut here too (bestDepth only decreases).
 		if parent.depth >= s.bestDepth-1 {
+			s.recycle(parent)
 			continue
 		}
 		if parent.spec == nil {
@@ -353,7 +454,7 @@ func (s *searcher) run() Result {
 		}
 		s.expand(parent)
 		if s.pq.Len() > s.opts.maxQueue() {
-			s.pq.PruneTo(s.opts.maxQueue() / 2)
+			s.pq.PruneToFunc(s.opts.maxQueue()/2, s.discardQueued)
 			s.recountQueueBytes()
 		}
 		if s.overMemory() {
@@ -369,6 +470,11 @@ func (s *searcher) run() Result {
 		Elapsed:        time.Since(start),
 		StopReason:     stop,
 		PeakQueueBytes: s.peakBytes,
+	}
+	if s.tt != nil {
+		res.DedupHits = s.tt.hits
+		res.DedupMisses = s.tt.misses
+		res.DedupEvictions = s.tt.evictions
 	}
 	if s.bestSol != nil {
 		res.Found = true
@@ -394,11 +500,22 @@ func (s *searcher) restart() bool {
 	s.nextFirstMove++
 	s.restarts++
 	s.stepsSinceRestart = 0
+	// Queued nodes are unexpanded leaves — nothing references them once
+	// the queue is cleared, so they feed the free list. The transposition
+	// table is dropped wholesale: the restart exists to re-explore from a
+	// different first move, and "visited" marks inherited from the
+	// abandoned frontier would defeat it.
+	s.pq.Each(s.recycle)
 	s.pq.Clear()
 	s.queueBytes = 0
+	if s.tt != nil {
+		s.tt.reset()
+		s.tt.record(s.root.hash, 0)
+	}
 
 	cs, delta := s.root.spec.SubstituteCopy(fm.target, fm.factor)
-	child := &node{
+	child := s.newNode()
+	*child = node{
 		parent: s.root,
 		spec:   cs,
 		id:     s.nodes,
@@ -407,6 +524,9 @@ func (s *searcher) restart() bool {
 		depth:  1,
 		terms:  s.root.terms + delta,
 		elim:   -delta,
+	}
+	if s.tt != nil {
+		child.hash = cs.Hash()
 	}
 	s.nodes++
 	child.priority = s.priorityOf(child)
@@ -452,13 +572,18 @@ func (s *searcher) expand(parent *node) {
 			if target == parent.target && f == parent.factor {
 				continue
 			}
+			// One merge-count pass scores the candidate and (for the
+			// transposition table) hashes the state it would create,
+			// without materializing anything.
 			var delta int
-			delta, s.deltaBuf = spec.SubstituteDelta(target, f, s.deltaBuf)
+			var hash uint64
+			delta, hash, s.deltaBuf = spec.SubstituteProbe(target, f, s.deltaBuf)
 			childTerms := parent.terms + delta
 			cands = append(cands, scored{
 				factor: f,
 				terms:  childTerms,
 				elim:   -delta,
+				hash:   hash,
 				admit:  s.admit(f, childTerms, -delta),
 			})
 		}
@@ -494,13 +619,57 @@ func (s *searcher) expand(parent *node) {
 				// are not added to the queue").
 				continue
 			}
+			// Transposition check (deviation 8, see DESIGN.md): a state
+			// already queued or solved at this depth or shallower will be
+			// (or was) explored through that node; cloning it again here
+			// can only repeat work. A strictly shallower rediscovery
+			// misses and supersedes the entry when pushed below.
+			if s.tt != nil && s.tt.seen(c.hash, childDepth) {
+				continue
+			}
 			// Children are materialized lazily: the expansion is derived
 			// from the parent's (still resident, copy-on-write shared)
 			// expansion only when the child is popped — most queued nodes
 			// never are. Solution candidates are the exception: they must
-			// be checked now.
-			child := &node{
+			// be checked now. Node structs are allocated only for children
+			// that are actually kept (queued or solutions).
+			var childSpec *pprm.Spec
+			if solutionPossible {
+				cs, _ := spec.SubstituteCopy(target, c.factor)
+				if cs.IsIdentity() {
+					if childDepth < s.bestDepth {
+						child := s.newNode()
+						*child = node{
+							parent:   parent,
+							id:       s.nodes,
+							target:   target,
+							factor:   c.factor,
+							depth:    childDepth,
+							terms:    c.terms,
+							elim:     c.elim,
+							priority: c.priority,
+							hash:     c.hash,
+						}
+						s.nodes++
+						s.bestDepth = childDepth
+						s.bestSol = child
+						s.solSteps = s.steps
+						if s.tt != nil {
+							s.tt.record(c.hash, childDepth)
+						}
+						s.emit(EventSolution, child)
+					}
+					continue
+				}
+				childSpec = cs
+			}
+			if !inTopK || childDepth >= s.bestDepth-1 {
+				continue
+			}
+			child := s.newNode()
+			*child = node{
 				parent:   parent,
+				spec:     childSpec,
 				id:       s.nodes,
 				target:   target,
 				factor:   c.factor,
@@ -508,24 +677,9 @@ func (s *searcher) expand(parent *node) {
 				terms:    c.terms,
 				elim:     c.elim,
 				priority: c.priority,
+				hash:     c.hash,
 			}
 			s.nodes++
-			if solutionPossible {
-				cs, _ := spec.SubstituteCopy(target, c.factor)
-				if cs.IsIdentity() {
-					if childDepth < s.bestDepth {
-						s.bestDepth = childDepth
-						s.bestSol = child
-						s.solSteps = s.steps
-						s.emit(EventSolution, child)
-					}
-					continue
-				}
-				child.spec = cs
-			}
-			if !inTopK || childDepth >= s.bestDepth-1 {
-				continue
-			}
 			pushed++
 			if isRoot {
 				s.firstMoves = append(s.firstMoves, firstMove{

@@ -1,0 +1,100 @@
+package core
+
+// transpo is the search's transposition table: a map from 64-bit PPRM state
+// hashes (pprm.Spec.Hash) to the shallowest search depth at which that
+// state has been queued or solved. The RMRLS search tree re-derives the
+// same expansion along many substitution orders — applying b=b⊕ac then
+// c=c⊕ab reaches the same state as the reverse — and without the table
+// every rediscovery costs a full child scoring, clone, and queue insert.
+//
+// The replacement policy is depth-aware: an entry records the *minimum*
+// depth seen, a probe at depth ≥ the stored depth is a hit (the duplicate
+// is pruned), and a shallower rediscovery misses, superseding the entry
+// when it is enqueued. A shallower path to a state can only shorten every
+// circuit through it, so pruning the deeper duplicates can never force a
+// longer result; the reverse replacement would.
+//
+// Soundness against "blocked forever" states is maintained by the callers:
+// states are recorded when their node is enqueued (or proves to be a
+// solution), forgotten again when a queued-but-unexpanded node is pruned
+// by the queue/memory caps (forget), and the whole table is dropped on a
+// restart (reset) — the restart heuristic exists precisely to re-explore
+// from a different first move, so stale "visited" marks from the abandoned
+// frontier must not survive it.
+//
+// Hash collisions (two distinct states sharing all 64 bits) would prune a
+// genuinely new state; with m distinct states recorded the probability of
+// any collision is ≈ m²/2⁶⁵ — about 10⁻⁸ for the million-entry default
+// table — and every reported circuit is verified by simulation regardless.
+type transpo struct {
+	entries   map[uint64]int32
+	limit     int // maximum entries; exceeding it clears the table
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+// ttEntryBytes approximates the resident cost of one table entry for the
+// Options.MaxMemory accounting: 12 bytes of key+value rounded up to Go map
+// bucket overhead. Coarse on purpose, like the node estimates (see memOf).
+const ttEntryBytes = 32
+
+func newTranspo(limit int) *transpo {
+	return &transpo{entries: make(map[uint64]int32), limit: limit}
+}
+
+// seen probes the table: it reports whether state h has already been
+// reached at depth ≤ depth, counting the probe as a hit or miss. It never
+// modifies the table — recording is the caller's decision (a probed child
+// can still be discarded by greedy-k or admission pruning, and recording
+// those would block their later rediscovery forever).
+func (t *transpo) seen(h uint64, depth int) bool {
+	if d, ok := t.entries[h]; ok && int(d) <= depth {
+		t.hits++
+		return true
+	}
+	t.misses++
+	return false
+}
+
+// record stores state h at the given depth, keeping the shallower of the
+// new and existing depths. When the table is full it is cleared wholesale
+// (generation reset, counted as evictions) rather than evicting piecemeal:
+// the search's value is concentrated in recent states, and a cleared
+// table only costs re-exploration, never correctness.
+func (t *transpo) record(h uint64, depth int) {
+	d, ok := t.entries[h]
+	if ok {
+		if int32(depth) < d {
+			t.entries[h] = int32(depth)
+		}
+		return
+	}
+	if len(t.entries) >= t.limit {
+		t.evictions += int64(len(t.entries))
+		clear(t.entries)
+	}
+	t.entries[h] = int32(depth)
+}
+
+// forget removes the entry for state h, but only if it still records
+// exactly the given depth — a shallower duplicate enqueued later must keep
+// its (shallower) mark even when the deeper node that first recorded the
+// state is pruned.
+func (t *transpo) forget(h uint64, depth int) {
+	if d, ok := t.entries[h]; ok && d == int32(depth) {
+		delete(t.entries, h)
+	}
+}
+
+// reset drops every entry (restart or memory-pressure escalation), counting
+// them as evictions.
+func (t *transpo) reset() {
+	t.evictions += int64(len(t.entries))
+	clear(t.entries)
+}
+
+// bytes is the table's contribution to the MaxMemory estimate.
+func (t *transpo) bytes() int64 {
+	return int64(len(t.entries)) * ttEntryBytes
+}

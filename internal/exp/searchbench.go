@@ -1,0 +1,46 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/bench"
+)
+
+// WriteSearchBench renders the benchmark-trajectory harness report (see
+// internal/bench.RunSearchBench and docs/PERFORMANCE.md) as the two
+// human-readable tables the `experiments searchbench` subcommand prints;
+// cmd/benchjson emits the same report as JSON for the checked-in
+// BENCH_search.json trajectory file.
+func WriteSearchBench(w io.Writer, r *bench.SearchReport) {
+	header := []string{"workload", "fns", "expansions off", "expansions on",
+		"reduction", "hit rate", "allocs/exp off", "allocs/exp on", "nodes/s off", "nodes/s on"}
+	var rows [][]string
+	for _, c := range r.Workloads {
+		rows = append(rows, []string{
+			c.Workload, itoa(c.Off.Functions),
+			fmt.Sprintf("%d", c.Off.Expansions), fmt.Sprintf("%d", c.On.Expansions),
+			fmt.Sprintf("%.1f%%", 100*c.ExpansionReduction),
+			fmt.Sprintf("%.2f", c.On.DedupHitRate),
+			fmt.Sprintf("%.1f", c.Off.AllocsPerExpansion),
+			fmt.Sprintf("%.1f", c.On.AllocsPerExpansion),
+			fmt.Sprintf("%.0f", c.Off.NodesPerSec),
+			fmt.Sprintf("%.0f", c.On.NodesPerSec),
+		})
+	}
+	writeTable(w, header, rows)
+
+	if len(r.Examples) == 0 {
+		return
+	}
+	fmt.Fprintln(w)
+	header = []string{"example", "gates off", "gates on", "paper", "steps off", "steps on", "hit rate"}
+	rows = rows[:0]
+	for _, e := range r.Examples {
+		rows = append(rows, []string{
+			e.Name, itoa(e.GatesOff), itoa(e.GatesOn), itoa(e.PaperGates),
+			itoa(e.StepsOff), itoa(e.StepsOn), fmt.Sprintf("%.2f", e.HitRate),
+		})
+	}
+	writeTable(w, header, rows)
+}

@@ -1,0 +1,31 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func TestWriteSearchBench(t *testing.T) {
+	report := &bench.SearchReport{
+		Workloads: []bench.WorkloadComparison{{
+			Workload:           "table1-3var",
+			Off:                bench.WorkloadMetrics{Functions: 40, Expansions: 1000, AllocsPerExpansion: 14.2, NodesPerSec: 300000},
+			On:                 bench.WorkloadMetrics{Functions: 40, Expansions: 300, DedupHitRate: 0.5, AllocsPerExpansion: 14.9, NodesPerSec: 280000},
+			ExpansionReduction: 0.7,
+		}},
+		Examples: []bench.ExampleComparison{{
+			Name: "rd53", PaperGates: 13, GatesOff: 16, GatesOn: 12,
+			StepsOff: 332221, StepsOn: 215440, HitRate: 0.32,
+		}},
+	}
+	var sb strings.Builder
+	WriteSearchBench(&sb, report)
+	out := sb.String()
+	for _, want := range []string{"table1-3var", "70.0%", "rd53", "expansions off", "gates on"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package pprm
+
+import (
+	"testing"
+
+	"repro/internal/bits"
+	"repro/internal/perm"
+	"repro/internal/rng"
+)
+
+// recomputedHash is the from-scratch reference for the incremental hash.
+func recomputedHash(ts *TermSet) uint64 {
+	var h uint64
+	for _, t := range ts.Terms() {
+		h ^= termHash(t)
+	}
+	return h
+}
+
+func TestHashIncrementalMatchesRecomputed(t *testing.T) {
+	src := rng.New(11)
+	var ts TermSet
+	for i := 0; i < 2000; i++ {
+		ts.Toggle(bits.Mask(src.Intn(64)))
+		if got, want := ts.Hash(), recomputedHash(&ts); got != want {
+			t.Fatalf("after %d toggles: hash %#x, recomputed %#x", i+1, got, want)
+		}
+	}
+}
+
+func TestHashThroughSubstitute(t *testing.T) {
+	src := rng.New(12)
+	for trial := 0; trial < 50; trial++ {
+		p := perm.Random(4, src)
+		s, err := FromPerm(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range s.Out {
+			if got, want := s.Out[i].Hash(), recomputedHash(&s.Out[i]); got != want {
+				t.Fatalf("FromPerm out %d: hash %#x, recomputed %#x", i, got, want)
+			}
+		}
+		// Random in-place substitutions keep the incremental hash exact.
+		for step := 0; step < 20; step++ {
+			target := src.Intn(4)
+			factor := bits.Mask(src.Intn(16)) &^ bits.Bit(target)
+			s.Substitute(target, factor)
+			for i := range s.Out {
+				if got, want := s.Out[i].Hash(), recomputedHash(&s.Out[i]); got != want {
+					t.Fatalf("step %d out %d: hash %#x, recomputed %#x", step, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSubstituteProbeMatchesSubstituteCopy(t *testing.T) {
+	src := rng.New(13)
+	var scratch []bits.Mask
+	for trial := 0; trial < 50; trial++ {
+		s, err := FromPerm(perm.Random(4, src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for target := 0; target < 4; target++ {
+			for factor := bits.Mask(0); factor < 16; factor++ {
+				if factor&bits.Bit(target) != 0 {
+					continue
+				}
+				var delta int
+				var hash uint64
+				delta, hash, scratch = s.SubstituteProbe(target, factor, scratch)
+				child, wantDelta := s.SubstituteCopy(target, factor)
+				if delta != wantDelta {
+					t.Fatalf("probe delta %d, copy delta %d (target %d factor %s)",
+						delta, wantDelta, target, bits.TermString(factor))
+				}
+				if hash != child.Hash() {
+					t.Fatalf("probe hash %#x, copy hash %#x (target %d factor %s)",
+						hash, child.Hash(), target, bits.TermString(factor))
+				}
+			}
+		}
+	}
+}
+
+func TestSpecHashPositionDependent(t *testing.T) {
+	// v0'=a, v1'=b vs. the swap v0'=b, v1'=a: same multiset of TermSets on
+	// different outputs must hash differently.
+	id := Identity(2)
+	swap := NewSpec(2)
+	swap.Out[0].Toggle(bits.Bit(1))
+	swap.Out[1].Toggle(bits.Bit(0))
+	if id.Hash() == swap.Hash() {
+		t.Fatalf("identity and swap hash identically: %#x", id.Hash())
+	}
+}
+
+func TestSpecHashEqualSpecsAgree(t *testing.T) {
+	src := rng.New(14)
+	s, err := FromPerm(perm.Random(4, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A clone built by a completely different toggle order hashes equally.
+	rebuilt := NewSpec(4)
+	for i := range s.Out {
+		terms := append([]bits.Mask(nil), s.Out[i].Terms()...)
+		for _, j := range src.Perm(len(terms)) {
+			rebuilt.Out[i].Toggle(terms[j])
+		}
+	}
+	if !s.Equal(rebuilt) {
+		t.Fatal("rebuilt spec differs")
+	}
+	if s.Hash() != rebuilt.Hash() {
+		t.Fatalf("equal specs hash differently: %#x vs %#x", s.Hash(), rebuilt.Hash())
+	}
+}
+
+func TestEqualAllocationFree(t *testing.T) {
+	a := NewTermSet(0b011, 0b101, 0b110, 0b001)
+	b := a.Clone()
+	c := NewTermSet(0b011, 0b101, 0b111) // different hash
+	if !a.Equal(&b) || a.Equal(&c) {
+		t.Fatal("Equal gives wrong answers")
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if !a.Equal(&b) {
+			t.Fatal("equal sets reported unequal")
+		}
+	}); n != 0 {
+		t.Fatalf("Equal on equal sets allocates %v times per run", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if a.Equal(&c) {
+			t.Fatal("unequal sets reported equal")
+		}
+	}); n != 0 {
+		t.Fatalf("Equal hash fast path allocates %v times per run", n)
+	}
+}
+
+func TestSortedCacheInvalidation(t *testing.T) {
+	ts := NewTermSet(0b111, 0b001, 0b110)
+	first := ts.Sorted()
+	if &first[0] != &ts.Sorted()[0] {
+		t.Fatal("Sorted does not cache between calls")
+	}
+	ts.Toggle(0b010)
+	second := ts.Sorted()
+	if len(second) != 4 {
+		t.Fatalf("Sorted after Toggle has %d terms, want 4", len(second))
+	}
+	// The pre-mutation snapshot must be untouched (clones may share it).
+	if len(first) != 3 || first[0] != 0b001 {
+		t.Fatalf("pre-mutation Sorted slice mutated: %v", first)
+	}
+
+	// A clone shares the built cache until either side mutates.
+	cl := ts.Clone()
+	if &cl.Sorted()[0] != &ts.Sorted()[0] {
+		t.Fatal("Clone does not share the built cache")
+	}
+	cl.Toggle(0b001) // removes a term from the clone only
+	if len(ts.Sorted()) != 4 || len(cl.Sorted()) != 3 {
+		t.Fatalf("cache sharing leaked a mutation: parent %d terms, clone %d",
+			len(ts.Sorted()), len(cl.Sorted()))
+	}
+}

@@ -137,7 +137,7 @@ func FromPerm(p perm.Perm) (*Spec, error) {
 				terms = append(terms, bits.Mask(m)) // ascending ⇒ sorted
 			}
 		}
-		s.Out[out] = TermSet{terms: terms}
+		s.Out[out] = newSortedTermSet(terms)
 	}
 	return s, nil
 }
@@ -236,13 +236,16 @@ func (s *Spec) SubstituteCopy(target int, factor bits.Mask) (*Spec, int) {
 	for j := range s.Out {
 		ts := &s.Out[j]
 		toggles = toggles[:0]
+		var tx uint64
 		for _, t := range ts.Terms() {
 			if t&tb != 0 {
-				toggles = append(toggles, (t&^tb)|factor)
+				nt := (t &^ tb) | factor
+				toggles = append(toggles, nt)
+				tx ^= termHash(nt)
 			}
 		}
 		if len(toggles) == 0 {
-			out.Out[j] = *ts // share storage
+			out.Out[j] = *ts // share storage (incl. hash and sorted cache)
 			continue
 		}
 		slices.Sort(toggles)
@@ -266,7 +269,9 @@ func (s *Spec) SubstituteCopy(target int, factor bits.Mask) (*Spec, int) {
 		merged = append(merged, a[i:]...)
 		merged = append(merged, toggles[k:]...)
 		delta += len(merged) - len(a)
-		out.Out[j] = TermSet{terms: merged}
+		// Toggle keys cancel in XOR pairs exactly like the terms, so the
+		// raw-toggle XOR tx is the hash delta even after deduplication.
+		out.Out[j] = TermSet{terms: merged, hash: ts.hash ^ tx}
 	}
 	return out, delta
 }

@@ -11,8 +11,25 @@ import (
 // implementation uses sorted doubly linked lists for the same reason:
 // substitutions stream through the terms in order, and copies (one per
 // queued search node) are a single contiguous move.
+//
+// Alongside the terms the set maintains two derived values:
+//
+//   - hash: the XOR of the terms' Zobrist keys (see hash.go), updated in
+//     O(1) per membership flip, which the synthesis search's transposition
+//     table keys on;
+//   - sorted: a lazily built, immutable copy of the terms in presentation
+//     order (ascending literal count, then mask), invalidated on mutation.
+//     Copy-on-write children share it with their parents, so the hot-path
+//     candidate enumeration usually finds it already built.
+//
+// A TermSet is not safe for concurrent use: Sorted fills the cache on
+// first call, so even logically read-only sharing across goroutines
+// requires the owner to Clone first (the search clones its root spec for
+// exactly this reason).
 type TermSet struct {
-	terms []bits.Mask // strictly increasing
+	terms  []bits.Mask // strictly increasing
+	hash   uint64      // XOR of termHash over terms
+	sorted []bits.Mask // presentation-order cache; nil = not built
 }
 
 // NewTermSet builds a set from arbitrary masks; duplicate pairs cancel
@@ -23,6 +40,16 @@ func NewTermSet(masks ...bits.Mask) TermSet {
 		ts.Toggle(m)
 	}
 	return ts
+}
+
+// newSortedTermSet wraps a strictly increasing mask slice, computing its
+// hash. The slice is owned by the new set.
+func newSortedTermSet(terms []bits.Mask) TermSet {
+	var h uint64
+	for _, t := range terms {
+		h ^= termHash(t)
+	}
+	return TermSet{terms: terms, hash: h}
 }
 
 // Len returns the number of terms.
@@ -37,6 +64,8 @@ func (ts *TermSet) Has(t bits.Mask) bool {
 // Toggle flips membership of term t and returns +1 if it was inserted, −1
 // if removed.
 func (ts *TermSet) Toggle(t bits.Mask) int {
+	ts.hash ^= termHash(t)
+	ts.sorted = nil
 	i := sort.Search(len(ts.terms), func(i int) bool { return ts.terms[i] >= t })
 	if i < len(ts.terms) && ts.terms[i] == t {
 		ts.terms = append(ts.terms[:i], ts.terms[i+1:]...)
@@ -48,9 +77,15 @@ func (ts *TermSet) Toggle(t bits.Mask) int {
 	return 1
 }
 
-// Clone returns a copy of the set.
+// Clone returns a copy of the set. The presentation cache, if built, is
+// shared: it is immutable once created (mutations replace it rather than
+// editing in place).
 func (ts *TermSet) Clone() TermSet {
-	return TermSet{terms: append([]bits.Mask(nil), ts.terms...)}
+	return TermSet{
+		terms:  append([]bits.Mask(nil), ts.terms...),
+		hash:   ts.hash,
+		sorted: ts.sorted,
+	}
 }
 
 // Terms returns the terms in ascending mask order. The slice aliases the
@@ -59,8 +94,12 @@ func (ts *TermSet) Terms() []bits.Mask { return ts.terms }
 
 // Sorted returns the terms ordered by ascending literal count, then mask —
 // the deterministic presentation order used for printing and candidate
-// enumeration.
+// enumeration. The result is cached until the set next mutates and is
+// shared with copy-on-write clones; callers must not modify it.
 func (ts *TermSet) Sorted() []bits.Mask {
+	if ts.sorted != nil || len(ts.terms) == 0 {
+		return ts.sorted
+	}
 	out := append([]bits.Mask(nil), ts.terms...)
 	sort.Slice(out, func(i, j int) bool {
 		ci, cj := bits.Count(out[i]), bits.Count(out[j])
@@ -69,12 +108,16 @@ func (ts *TermSet) Sorted() []bits.Mask {
 		}
 		return out[i] < out[j]
 	})
+	ts.sorted = out
 	return out
 }
 
-// Equal reports whether the two sets hold the same terms.
+// Equal reports whether the two sets hold the same terms. The incremental
+// hashes give a constant-time negative fast path; the element compare
+// guards against 64-bit collisions on the (hash-equal) positive path.
+// Either way the comparison performs no allocation.
 func (ts *TermSet) Equal(o *TermSet) bool {
-	if len(ts.terms) != len(o.terms) {
+	if ts.hash != o.hash || len(ts.terms) != len(o.terms) {
 		return false
 	}
 	for i, t := range ts.terms {
@@ -109,6 +152,12 @@ func (ts *TermSet) symmetricMerge(toggles []bits.Mask, scratch []bits.Mask) int 
 	out = append(out, b[j:]...)
 	delta := len(out) - len(a)
 	ts.terms = append(ts.terms[:0], out...)
+	// Every toggle flips membership exactly once (the list is
+	// duplicate-free), so the hash update is the XOR of their keys.
+	for _, t := range toggles {
+		ts.hash ^= termHash(t)
+	}
+	ts.sorted = nil
 	return delta
 }
 

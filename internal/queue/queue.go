@@ -34,12 +34,24 @@ func (q *Queue[T]) Clear() {
 // The search uses it to bound memory on large functions. A descending-sorted
 // array satisfies the max-heap property, so the rebuild is a sort.
 func (q *Queue[T]) PruneTo(k int) {
+	q.PruneToFunc(k, nil)
+}
+
+// PruneToFunc is PruneTo with a callback: discard, if non-nil, is invoked
+// once for every dropped item before its slot is released. The search uses
+// it to un-register pruned nodes from its transposition table (a pruned
+// node was never expanded, so leaving it marked as visited could block the
+// only path to an unexplored state) and to recycle their allocations.
+func (q *Queue[T]) PruneToFunc(k int, discard func(T)) {
 	if len(q.items) <= k {
 		return
 	}
 	sortEntries(q.items)
 	tail := q.items[k:]
 	for i := range tail {
+		if discard != nil {
+			discard(tail[i].value)
+		}
 		tail[i] = entry[T]{}
 	}
 	q.items = q.items[:k]

@@ -211,3 +211,30 @@ func TestPruneKeepsHeapValid(t *testing.T) {
 		last = v
 	}
 }
+
+// TestPruneToFuncDiscards: the discard callback sees exactly the dropped
+// items (the lowest-precedence tail), each exactly once.
+func TestPruneToFuncDiscards(t *testing.T) {
+	var q Queue[int]
+	for i := 0; i < 20; i++ {
+		q.Push(i, float64(i))
+	}
+	discarded := map[int]int{}
+	q.PruneToFunc(5, func(v int) { discarded[v]++ })
+	if q.Len() != 5 {
+		t.Fatalf("Len after PruneToFunc(5) = %d", q.Len())
+	}
+	if len(discarded) != 15 {
+		t.Fatalf("discard callback saw %d items, want 15", len(discarded))
+	}
+	for v, n := range discarded {
+		if v >= 15 {
+			t.Errorf("high-priority item %d was discarded", v)
+		}
+		if n != 1 {
+			t.Errorf("item %d discarded %d times", v, n)
+		}
+	}
+	// No callback when nothing is dropped.
+	q.PruneToFunc(10, func(v int) { t.Errorf("discarded %d from a small queue", v) })
+}
