@@ -13,7 +13,7 @@
 //	experiments table2 [-samples N]
 //	experiments table3 [-samples N]
 //	experiments table4 [-time D] [-only name,name]
-//	experiments table5|table6|table7 [-pervar N]
+//	experiments table5|table6|table7 [-pervar N] [-checkpoint-dir D]
 //	experiments examples
 //	experiments fig5
 //	experiments searchbench [-samples N] [-steps N]
@@ -53,6 +53,7 @@ func dispatch(ctx context.Context, cmd string, args []string) {
 		timeLim = fs.Duration("time", 60*time.Second, "table4: per-benchmark time limit")
 		steps   = fs.Int("steps", 0, "deterministic per-function step budget override")
 		only    = fs.String("only", "", "table4: comma-separated benchmark names")
+		ckptDir = fs.String("checkpoint-dir", "", "tables 5-7: make the sweep interruptible — progress ledger + in-flight search checkpoint in this directory; rerun with the same flags to continue")
 	)
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
@@ -117,6 +118,7 @@ func dispatch(ctx context.Context, cmd string, args []string) {
 		if *steps > 0 {
 			cfg.TotalSteps = *steps
 		}
+		cfg.CheckpointDir = *ckptDir
 		exp.Scalability(ctx, cfg).Write(w)
 
 	case "examples":

@@ -13,13 +13,19 @@
 //
 // Interrupting a run (Ctrl-C / SIGTERM) cancels the search gracefully: the
 // best-so-far circuit is printed together with the stop reason, and the
-// exit status reflects whether any circuit was found. Exit codes: 0 a
-// circuit was printed; 1 bad usage or input; 2 no circuit found within the
-// limits; 3 verification failure.
+// exit status reflects whether any circuit was found. With -checkpoint the
+// interrupted state is flushed to disk first, and -resume continues it in a
+// later invocation exactly where it left off (see docs/OPERATIONS.md). A
+// second interrupt forces immediate exit with status 130; the atomic
+// checkpoint protocol guarantees the file on disk is still a complete,
+// usable snapshot (the previous one, if the forced exit cut a write short).
+// Exit codes: 0 a circuit was printed; 1 bad usage or input; 2 no circuit
+// found within the limits; 3 verification failure; 130 forced interrupt.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -41,9 +47,25 @@ import (
 )
 
 func main() {
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go handleSignals(sig, cancel, os.Stderr, os.Exit)
 	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// handleSignals implements the two-stage interrupt protocol: the first
+// signal cancels the synthesis context — the search stops at the next poll,
+// flushes a final checkpoint if one is configured, and the best-so-far
+// circuit is printed — and the second forces the process down with the
+// conventional 128+SIGINT exit status for an interrupted command.
+func handleSignals(sig <-chan os.Signal, cancel context.CancelFunc, stderr io.Writer, exit func(int)) {
+	<-sig
+	cancel()
+	fmt.Fprintln(stderr, "rmrls: interrupt — stopping gracefully (interrupt again to force exit)")
+	<-sig
+	exit(130)
 }
 
 // run is main's testable body: it parses args, synthesizes, and returns
@@ -69,6 +91,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		simplify  = fs.Bool("simplify", false, "apply peephole simplification to the result")
 		baseline  = fs.Bool("mmd", false, "also run the transformation-based baseline")
 		portfolio = fs.Bool("portfolio", false, "run the parallel search portfolio + tightening (slower, better circuits)")
+		ckptPath  = fs.String("checkpoint", "", "periodically save the search state to this file (crash-safe atomic writes)")
+		ckptEvery = fs.Duration("checkpoint-interval", 30*time.Second, "wall-clock interval between periodic checkpoints")
+		resume    = fs.Bool("resume", false, "continue from the -checkpoint file if it holds a usable snapshot (falls back to a fresh start)")
 		fredkinF  = fs.Bool("fredkin", false, "report the mixed Fredkin/Toffoli form of the result")
 		diagram   = fs.Bool("diagram", false, "draw the circuit")
 		trace     = fs.Bool("trace", false, "print the search trace (pops/pushes/solutions)")
@@ -115,12 +140,61 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if *trace {
 		opts.Trace = func(e core.Event) { printEvent(stdout, e) }
 	}
+	if *resume && *ckptPath == "" {
+		fmt.Fprintln(stderr, "rmrls: -resume requires -checkpoint")
+		return 1
+	}
+	if *portfolio && *ckptPath != "" {
+		// The portfolio runs several differently-configured searches; a
+		// single-searcher snapshot cannot represent it.
+		fmt.Fprintln(stderr, "rmrls: -checkpoint/-resume cannot be combined with -portfolio")
+		return 1
+	}
+	if *ckptPath != "" {
+		opts.Checkpoint = core.Checkpoint{
+			Path:     *ckptPath,
+			Interval: *ckptEvery,
+			OnError: func(err error) {
+				fmt.Fprintln(stderr, "rmrls: checkpoint write failed (search continues):", err)
+			},
+		}
+	}
 
 	var res core.Result
-	if *portfolio {
+	switch {
+	case *portfolio:
 		res = core.SynthesizePortfolioContext(ctx, spec, opts, 4)
-	} else {
+	case *resume:
+		var err error
+		res, err = core.ResumeContext(ctx, spec, opts, *ckptPath)
+		switch {
+		case err == nil:
+			fmt.Fprintf(stderr, "# resumed from checkpoint %s\n", *ckptPath)
+		case errors.Is(err, os.ErrNotExist):
+			// No checkpoint yet: a fresh start is exactly what -resume in a
+			// retry loop wants, silently.
+			res = core.SynthesizeContext(ctx, spec, opts)
+		default:
+			// Damaged or mismatched snapshot: graceful degradation. Say
+			// why, then start over; the periodic checkpoints of the fresh
+			// run will overwrite the unusable file.
+			fmt.Fprintf(stderr, "rmrls: cannot resume from %s (%v); starting fresh\n", *ckptPath, err)
+			res = core.SynthesizeContext(ctx, spec, opts)
+		}
+	default:
 		res = core.SynthesizeContext(ctx, spec, opts)
+	}
+	if *ckptPath != "" {
+		switch res.StopReason {
+		case core.StopSolved, core.StopQueueExhausted, core.StopRestartsExhausted:
+			// The run is complete — there is nothing left to continue, and a
+			// stale snapshot would confuse the next -resume.
+			os.Remove(*ckptPath)
+		default:
+			if res.Checkpoints > 0 {
+				fmt.Fprintf(stderr, "# checkpoint saved to %s; rerun with -resume to continue\n", *ckptPath)
+			}
+		}
 	}
 	if res.Err != nil {
 		fmt.Fprintln(stderr, "rmrls:", res.Err)

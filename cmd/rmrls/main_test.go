@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestLoadSpecPermLiteral(t *testing.T) {
@@ -125,6 +126,121 @@ func TestRunBadUsageExitsOne(t *testing.T) {
 	}
 	if code := run(context.Background(), []string{"-library", "bogus", "{1, 0}"}, &out, &errb); code != 1 {
 		t.Errorf("bad library: exit code = %d, want 1", code)
+	}
+}
+
+// swap4Spec needs a few dozen search steps — enough to interrupt with a
+// small -steps budget and meaningfully resume.
+const swap4Spec = "{0, 2, 1, 3, 8, 10, 9, 11, 4, 6, 5, 7, 12, 14, 13, 15}"
+
+func TestRunCheckpointResumeFlow(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	var out, errb bytes.Buffer
+
+	// Segment 1: interrupted by the step budget, leaves a checkpoint.
+	code := run(context.Background(), []string{"-checkpoint", path, "-steps", "3", swap4Spec}, &out, &errb)
+	if code != 2 {
+		t.Fatalf("segment 1 exit code = %d, want 2; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "checkpoint saved") {
+		t.Errorf("stderr does not announce the saved checkpoint: %s", errb.String())
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("no checkpoint on disk: %v", err)
+	}
+
+	// Segment 2: resumes and finishes; success removes the checkpoint.
+	out.Reset()
+	errb.Reset()
+	code = run(context.Background(), []string{"-checkpoint", path, "-resume", swap4Spec}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("segment 2 exit code = %d; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "resumed from checkpoint") {
+		t.Errorf("stderr does not announce the resume: %s", errb.String())
+	}
+	if !strings.Contains(out.String(), "verified") {
+		t.Errorf("resumed run not verified:\n%s", out.String())
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("checkpoint not removed after the run completed: %v", err)
+	}
+}
+
+func TestRunResumeDamagedCheckpointFallsBack(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	if err := os.WriteFile(path, []byte("not a snapshot at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	code := run(context.Background(), []string{"-checkpoint", path, "-resume", "{1, 0, 3, 2}"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "cannot resume") || !strings.Contains(errb.String(), "starting fresh") {
+		t.Errorf("damaged checkpoint not diagnosed: %s", errb.String())
+	}
+}
+
+func TestRunResumeMissingCheckpointIsSilent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "none.ckpt")
+	var out, errb bytes.Buffer
+	code := run(context.Background(), []string{"-checkpoint", path, "-resume", "{1, 0, 3, 2}"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d; stderr: %s", code, errb.String())
+	}
+	if strings.Contains(errb.String(), "cannot resume") {
+		t.Errorf("missing checkpoint should start fresh silently: %s", errb.String())
+	}
+}
+
+func TestRunCheckpointFlagValidation(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(context.Background(), []string{"-resume", "{1, 0}"}, &out, &errb); code != 1 {
+		t.Errorf("-resume without -checkpoint: exit code = %d, want 1", code)
+	}
+	if code := run(context.Background(), []string{"-portfolio", "-checkpoint", "x.ckpt", "{1, 0}"}, &out, &errb); code != 1 {
+		t.Errorf("-portfolio with -checkpoint: exit code = %d, want 1", code)
+	}
+}
+
+// TestHandleSignals drives the two-stage interrupt protocol: the first
+// signal cancels the context, the second exits with 130.
+func TestHandleSignals(t *testing.T) {
+	sig := make(chan os.Signal, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	exited := make(chan int, 1)
+	var errb bytes.Buffer
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		handleSignals(sig, cancel, &errb, func(code int) { exited <- code })
+	}()
+
+	sig <- os.Interrupt
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("first interrupt did not cancel the context")
+	}
+	select {
+	case code := <-exited:
+		t.Fatalf("first interrupt exited with %d", code)
+	default:
+	}
+
+	sig <- os.Interrupt
+	select {
+	case code := <-exited:
+		if code != 130 {
+			t.Fatalf("second interrupt exited with %d, want 130", code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("second interrupt did not force an exit")
+	}
+	<-done
+	if !strings.Contains(errb.String(), "interrupt") {
+		t.Errorf("no interrupt notice on stderr: %s", errb.String())
 	}
 }
 

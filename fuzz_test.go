@@ -85,6 +85,13 @@ func FuzzPLAParse(f *testing.F) {
 	f.Add(".i 2\n.o 1\n01 1\n.e")
 	f.Add(".i 3\n.o 2\n1-1 10\n000 01\n.e")
 	f.Add(".i 1\n.o 1\n0 1\n1 0")
+	// Regression seeds: .i redefinition after a cube used to index rows
+	// of the wrong width and panic; oversized directive arguments used to
+	// wrap the int parse.
+	f.Add(".i 1\n.o 1\n0 1\n.i 2\n01 1")
+	f.Add(".i 99999999999999999999\n.o 1\n0 1")
+	f.Add(".i 2\n.o 1\n01 1\n01 0")
+	f.Add(".i 2\n.o 1\n01 1\n.e\n.i 3")
 	f.Fuzz(func(t *testing.T, s string) {
 		tab, err := tt.ParsePLA(s)
 		if err != nil {

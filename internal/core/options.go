@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/circuit"
+	"repro/internal/snapshot"
 )
 
 // Options configures a synthesis run. The zero value requests the basic
@@ -140,6 +141,57 @@ type Options struct {
 	// Trace, when non-nil, receives an event for every node push, pop,
 	// and solution. Used to reproduce the Fig. 5 search walkthrough.
 	Trace func(Event)
+
+	// Checkpoint configures periodic crash-safe snapshots of the complete
+	// searcher state; the zero value disables them. See the Checkpoint type
+	// and ResumeContext.
+	Checkpoint Checkpoint
+}
+
+// Checkpoint configures durable snapshots of a running search. When Path is
+// non-empty the search periodically serializes its complete state (queue,
+// expansions, transposition table, counters, best-so-far solution) to Path
+// via an atomic temp-file + fsync + rename protocol, and flushes one final
+// snapshot when it stops for a resumable reason (cancellation, deadline,
+// step or memory limit). ResumeContext continues such a run exactly: the
+// resumed search pops, expands, and solves in the same order as the
+// uninterrupted one would have.
+//
+// Checkpointing never fails the search: a write error is reported to
+// OnError (if set) and the run continues; the previous checkpoint, if any,
+// remains intact on disk thanks to the atomic replace.
+type Checkpoint struct {
+	// Path is the checkpoint file; empty disables checkpointing.
+	Path string
+
+	// Interval is the minimum wall-clock time between periodic
+	// checkpoints. 0 selects 30 s. Ignored when EverySteps > 0.
+	Interval time.Duration
+
+	// EverySteps, when > 0, checkpoints every N node expansions instead of
+	// on a wall-clock cadence — the deterministic mode the resume tests
+	// use.
+	EverySteps int
+
+	// FS overrides the filesystem the checkpoint is written through; nil
+	// selects the real disk. The fault-injection harness substitutes a
+	// crashing implementation here.
+	FS snapshot.FS
+
+	// OnError, when non-nil, receives checkpoint write failures. The
+	// search continues either way.
+	OnError func(error)
+}
+
+// enabled reports whether checkpointing is configured.
+func (c *Checkpoint) enabled() bool { return c.Path != "" }
+
+// interval resolves the wall-clock cadence.
+func (c *Checkpoint) interval() time.Duration {
+	if c.Interval > 0 {
+		return c.Interval
+	}
+	return 30 * time.Second
 }
 
 // Admission is the rule deciding which child nodes enter the priority
@@ -240,6 +292,14 @@ func (o *Options) weights() (a, b, g float64) {
 		return 0.3, 0.6, 0.1
 	}
 	return o.Alpha, o.Beta, o.Gamma
+}
+
+// growthSlack resolves the AdmitBounded term-count headroom.
+func (o *Options) growthSlack() int {
+	if o.GrowthSlack > 0 {
+		return o.GrowthSlack
+	}
+	return 2
 }
 
 func (o *Options) maxQueue() int {

@@ -1,0 +1,406 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/perm"
+	"repro/internal/pprm"
+	"repro/internal/snapshot"
+	"repro/internal/snapshot/faultfs"
+)
+
+// testPerms are small functions whose synthesis takes enough steps to
+// interrupt meaningfully. (The full 14-example determinism matrix lives in
+// the root package's resume tests; internal/bench imports core, so it
+// cannot be imported from here.)
+var testPerms = map[string]perm.Perm{
+	"fredkin":    perm.MustFromInts([]int{0, 1, 2, 3, 4, 6, 5, 7}),
+	"shiftright": perm.MustFromInts([]int{0, 4, 1, 5, 2, 6, 3, 7}),
+	"swap4":      perm.MustFromInts([]int{0, 2, 1, 3, 8, 10, 9, 11, 4, 6, 5, 7, 12, 14, 13, 15}),
+}
+
+func resumeTestOptions() Options {
+	o := DefaultOptions()
+	o.MaxSteps = 200 // small enough to pull restarts into the interrupted window
+	return o
+}
+
+func specFor(t *testing.T, p perm.Perm) *pprm.Spec {
+	t.Helper()
+	spec, err := pprm.FromPerm(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+// compareResults asserts the resumed run reproduced the uninterrupted one.
+func compareResults(t *testing.T, label string, full, got Result) {
+	t.Helper()
+	if got.Found != full.Found || got.Steps != full.Steps || got.Nodes != full.Nodes ||
+		got.Restarts != full.Restarts || got.StopReason != full.StopReason ||
+		got.DedupHits != full.DedupHits || got.DedupMisses != full.DedupMisses ||
+		got.DedupEvictions != full.DedupEvictions || got.PeakQueueBytes != full.PeakQueueBytes {
+		t.Fatalf("%s: resumed run diverged:\n full %+v\n got %+v", label, full, got)
+	}
+	if full.Found {
+		if got.Circuit.String() != full.Circuit.String() {
+			t.Fatalf("%s: resumed circuit %s != uninterrupted %s", label, got.Circuit, full.Circuit)
+		}
+	}
+}
+
+// TestResumeAfterStepLimit interrupts every test function at a range of
+// step budgets via TotalSteps, resumes from the final checkpoint, and
+// requires the continuation to be indistinguishable from the uninterrupted
+// run — same circuit, same counters, verified by simulation.
+func TestResumeAfterStepLimit(t *testing.T) {
+	for name, p := range testPerms {
+		t.Run(name, func(t *testing.T) {
+			spec := specFor(t, p)
+			full := Synthesize(spec, resumeTestOptions())
+			if !full.Found {
+				t.Fatalf("uninterrupted run failed: %+v", full)
+			}
+			if err := Verify(full.Circuit, p); err != nil {
+				t.Fatal(err)
+			}
+			for _, k := range []int{1, 2, 7, full.Steps / 2, full.Steps - 1} {
+				if k < 1 || k >= full.Steps {
+					continue
+				}
+				path := filepath.Join(t.TempDir(), "run.ckpt")
+				opts := resumeTestOptions()
+				opts.TotalSteps = k
+				opts.Checkpoint = Checkpoint{Path: path, EverySteps: 1 << 30}
+				seg1 := Synthesize(spec, opts)
+				if seg1.StopReason != StopStepLimit {
+					t.Fatalf("k=%d: segment 1 stopped for %v", k, seg1.StopReason)
+				}
+				if seg1.Checkpoints == 0 {
+					t.Fatalf("k=%d: no final checkpoint written", k)
+				}
+				opts.TotalSteps = 0
+				got, err := ResumeContext(context.Background(), spec, opts, path)
+				if err != nil {
+					t.Fatalf("k=%d: resume: %v", k, err)
+				}
+				if !got.Resumed {
+					t.Fatalf("k=%d: result not marked resumed", k)
+				}
+				compareResults(t, name, full, got)
+				if err := Verify(got.Circuit, p); err != nil {
+					t.Fatalf("k=%d: resumed circuit fails verification: %v", k, err)
+				}
+			}
+		})
+	}
+}
+
+// TestResumeAfterCancelMidStep cancels the context from inside the search
+// (via the trace hook, between arbitrary pops) so the interrupt lands
+// mid-step, and checks the rollback logic hands the pending node back to
+// the resumed run without skipping or double-counting it.
+func TestResumeAfterCancelMidStep(t *testing.T) {
+	p := testPerms["shiftright"]
+	spec := specFor(t, p)
+	full := Synthesize(spec, resumeTestOptions())
+	if !full.Found {
+		t.Fatalf("uninterrupted run failed: %+v", full)
+	}
+	for _, cancelAt := range []int{1, 3, full.Steps - 1} {
+		path := filepath.Join(t.TempDir(), "run.ckpt")
+		ctx, cancel := context.WithCancel(context.Background())
+		pops := 0
+		opts := resumeTestOptions()
+		opts.Checkpoint = Checkpoint{Path: path, EverySteps: 1 << 30}
+		opts.Trace = func(e Event) {
+			if e.Kind == EventPop {
+				pops++
+				if pops == cancelAt {
+					cancel()
+				}
+			}
+		}
+		seg1 := SynthesizeContext(ctx, spec, opts)
+		cancel()
+		if seg1.StopReason != StopCanceled && seg1.StopReason != StopSolved {
+			t.Fatalf("cancelAt=%d: segment 1 stopped for %v", cancelAt, seg1.StopReason)
+		}
+		if seg1.StopReason == StopSolved {
+			continue // canceled too late to matter
+		}
+		opts.Trace = nil
+		got, err := ResumeContext(context.Background(), spec, opts, path)
+		if err != nil {
+			t.Fatalf("cancelAt=%d: resume: %v", cancelAt, err)
+		}
+		compareResults(t, "shiftright", full, got)
+		if err := Verify(got.Circuit, p); err != nil {
+			t.Fatalf("cancelAt=%d: %v", cancelAt, err)
+		}
+	}
+}
+
+// TestResumeChain interrupts a run repeatedly — segment after segment, one
+// checkpoint file carried through — and checks the final answer still
+// matches the uninterrupted run.
+func TestResumeChain(t *testing.T) {
+	p := testPerms["swap4"]
+	spec := specFor(t, p)
+	full := Synthesize(spec, resumeTestOptions())
+	if !full.Found {
+		t.Fatalf("uninterrupted run failed: %+v", full)
+	}
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	opts := resumeTestOptions()
+	opts.Checkpoint = Checkpoint{Path: path, EverySteps: 1 << 30}
+	stride := full.Steps/5 + 1
+
+	opts.TotalSteps = stride
+	res := Synthesize(spec, opts)
+	for seg := 0; res.StopReason == StopStepLimit; seg++ {
+		if seg > 10 {
+			t.Fatal("chain did not terminate")
+		}
+		opts.TotalSteps += stride
+		var err error
+		res, err = ResumeContext(context.Background(), spec, opts, path)
+		if err != nil {
+			t.Fatalf("segment %d: %v", seg, err)
+		}
+	}
+	compareResults(t, "swap4", full, res)
+	if err := Verify(res.Circuit, p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPeriodicCheckpointCadence checks EverySteps actually produces
+// periodic snapshots, not just the final flush.
+func TestPeriodicCheckpointCadence(t *testing.T) {
+	p := testPerms["swap4"]
+	spec := specFor(t, p)
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	opts := resumeTestOptions()
+	opts.TotalSteps = 50
+	opts.Checkpoint = Checkpoint{Path: path, EverySteps: 10}
+	res := Synthesize(spec, opts)
+	// 50 steps at one checkpoint per 10, plus the final flush.
+	if res.Checkpoints < 5 {
+		t.Fatalf("expected ≥5 checkpoints, got %d", res.Checkpoints)
+	}
+	if _, err := snapshot.ReadFile(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckpointWriteFaults injects a crash into every operation of every
+// periodic checkpoint write and requires: the search itself is unaffected
+// (same circuit), the failure is reported through OnError, and the file
+// left on disk is either a usable snapshot (resume reproduces the
+// uninterrupted run) or typed-error garbage (caller falls back to fresh
+// start) — never a panic, never a silently wrong circuit.
+func TestCheckpointWriteFaults(t *testing.T) {
+	p := testPerms["shiftright"]
+	spec := specFor(t, p)
+	full := Synthesize(spec, resumeTestOptions())
+	if !full.Found {
+		t.Fatalf("uninterrupted run failed: %+v", full)
+	}
+
+	// Count the ops of one checkpoint write.
+	probe := faultfs.New(nil, -1, 0)
+	{
+		opts := resumeTestOptions()
+		opts.TotalSteps = 3
+		opts.Checkpoint = Checkpoint{Path: filepath.Join(t.TempDir(), "p.ckpt"), EverySteps: 1 << 30, FS: probe}
+		Synthesize(spec, opts)
+	}
+	opsPerWrite := probe.Ops()
+
+	for crashAt := 0; crashAt < opsPerWrite; crashAt++ {
+		for _, tear := range []int{0, 33} {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "run.ckpt")
+			var reported []error
+			ffs := faultfs.New(nil, crashAt, tear)
+			opts := resumeTestOptions()
+			opts.Checkpoint = Checkpoint{
+				Path:       path,
+				EverySteps: 2,
+				FS:         ffs,
+				OnError:    func(err error) { reported = append(reported, err) },
+			}
+			res := Synthesize(spec, opts)
+			if !res.Found || res.Circuit.String() != full.Circuit.String() {
+				t.Fatalf("crashAt=%d: checkpoint fault changed the search result: %+v", crashAt, res)
+			}
+			if !ffs.Crashed() {
+				t.Fatalf("crashAt=%d: crash point never reached", crashAt)
+			}
+			if len(reported) == 0 {
+				t.Fatalf("crashAt=%d: write failure not reported via OnError", crashAt)
+			}
+
+			// Whatever is on disk must resume cleanly or fail typed.
+			got, err := ResumeContext(context.Background(), spec, resumeTestOptions(), path)
+			switch {
+			case err == nil:
+				if !got.Found {
+					t.Fatalf("crashAt=%d: resume from partial run found nothing", crashAt)
+				}
+				if verr := Verify(got.Circuit, p); verr != nil {
+					t.Fatalf("crashAt=%d: resumed circuit fails verification: %v", crashAt, verr)
+				}
+				if got.Circuit.String() != full.Circuit.String() {
+					t.Fatalf("crashAt=%d: resumed circuit %s != %s", crashAt, got.Circuit, full.Circuit)
+				}
+			case errors.Is(err, os.ErrNotExist),
+				errors.Is(err, snapshot.ErrCorrupt),
+				errors.Is(err, snapshot.ErrNotSnapshot),
+				errors.Is(err, snapshot.ErrVersionSkew),
+				errors.Is(err, ErrInvalidState):
+				// Typed recovery error: graceful degradation, caller
+				// starts fresh.
+			default:
+				t.Fatalf("crashAt=%d: untyped resume error %v", crashAt, err)
+			}
+		}
+	}
+}
+
+// TestResumeRejectsMismatches covers the typed sentinel errors.
+func TestResumeRejectsMismatches(t *testing.T) {
+	p := testPerms["fredkin"]
+	spec := specFor(t, p)
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	opts := resumeTestOptions()
+	opts.TotalSteps = 2
+	opts.Checkpoint = Checkpoint{Path: path, EverySteps: 1 << 30}
+	if res := Synthesize(spec, opts); res.StopReason != StopStepLimit {
+		t.Fatalf("setup run stopped for %v", res.StopReason)
+	}
+	opts.TotalSteps = 0
+
+	other := specFor(t, testPerms["shiftright"])
+	if _, err := ResumeContext(context.Background(), other, opts, path); !errors.Is(err, ErrSpecMismatch) {
+		t.Fatalf("different spec: got %v, want ErrSpecMismatch", err)
+	}
+
+	changed := opts
+	changed.GreedyK = 2
+	if _, err := ResumeContext(context.Background(), spec, changed, path); !errors.Is(err, ErrOptionsMismatch) {
+		t.Fatalf("different options: got %v, want ErrOptionsMismatch", err)
+	}
+
+	// Budget changes are explicitly allowed.
+	budget := opts
+	budget.TotalSteps = 1 << 20
+	budget.TimeLimit = time.Hour
+	budget.FirstSolution = true
+	if _, err := ResumeContext(context.Background(), spec, budget, path); err != nil {
+		t.Fatalf("budget-only change rejected: %v", err)
+	}
+}
+
+// TestResumeRejectsInvalidStates tampers with decoded snapshots in ways the
+// CRC cannot catch (we re-encode after tampering) and requires typed
+// ErrInvalidState — the semantic validation layer, as opposed to the
+// snapshot package's structural one.
+func TestResumeRejectsInvalidStates(t *testing.T) {
+	p := testPerms["fredkin"]
+	spec := specFor(t, p)
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	opts := resumeTestOptions()
+	opts.TotalSteps = 5
+	opts.Checkpoint = Checkpoint{Path: path, EverySteps: 1 << 30}
+	if res := Synthesize(spec, opts); res.StopReason != StopStepLimit {
+		t.Fatalf("setup run stopped for %v", res.StopReason)
+	}
+	opts.TotalSteps = 0
+	base, err := snapshot.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tampers := map[string]func(st *snapshot.State){
+		"dangling parent":    func(st *snapshot.State) { st.Nodes[len(st.Nodes)-1].Parent = len(st.Nodes) },
+		"self parent":        func(st *snapshot.State) { st.Nodes[1].Parent = 1 },
+		"bad depth":          func(st *snapshot.State) { st.Nodes[1].Depth = 7 },
+		"bad target":         func(st *snapshot.State) { st.Nodes[1].Target = 99 },
+		"factor hits target": func(st *snapshot.State) { st.Nodes[1].Factor = 1 << uint(st.Nodes[1].Target) },
+		"terms drift":        func(st *snapshot.State) { st.Nodes[1].Terms += 3 },
+		"hash drift":         func(st *snapshot.State) { st.Nodes[1].Hash ^= 1 },
+		"queued out of range": func(st *snapshot.State) {
+			st.Queued[0] = len(st.Nodes) + 5
+		},
+		"queued duplicate": func(st *snapshot.State) {
+			st.Queued = append(st.Queued, st.Queued[0])
+		},
+		"impossible best depth": func(st *snapshot.State) { st.BestDepth++ },
+		"counter underflow":     func(st *snapshot.State) { st.SolSteps = st.Steps + 1 },
+		"node counter low":      func(st *snapshot.State) { st.NodesCreated = 0 },
+		"tt dropped":            func(st *snapshot.State) { st.TT = nil },
+		"next first move":       func(st *snapshot.State) { st.NextFirstMove = len(st.FirstMoves) + 1 },
+		"root not materialized": func(st *snapshot.State) { st.Nodes[0].Materialized = false },
+	}
+	for name, tamper := range tampers {
+		st, err := snapshot.Decode(snapshot.Encode(base))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tamper(st)
+		_, err = ResumeStateContext(context.Background(), spec, opts, st)
+		if !errors.Is(err, ErrInvalidState) && !errors.Is(err, ErrSpecMismatch) {
+			t.Errorf("%s: got %v, want ErrInvalidState", name, err)
+		}
+	}
+}
+
+// TestResumeMissingFile keeps the "no checkpoint yet" path typed.
+func TestResumeMissingFile(t *testing.T) {
+	p := testPerms["fredkin"]
+	spec := specFor(t, p)
+	_, err := ResumeContext(context.Background(), spec, resumeTestOptions(),
+		filepath.Join(t.TempDir(), "none.ckpt"))
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("got %v, want ErrNotExist", err)
+	}
+}
+
+// TestResumeDeadlineSpansSegments: TimeLimit counts cumulative elapsed, so
+// a resume of a run whose budget is already spent stops immediately.
+func TestResumeDeadlineSpansSegments(t *testing.T) {
+	p := testPerms["swap4"]
+	spec := specFor(t, p)
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	opts := resumeTestOptions()
+	opts.TotalSteps = 3
+	opts.Checkpoint = Checkpoint{Path: path, EverySteps: 1 << 30}
+	if res := Synthesize(spec, opts); res.StopReason != StopStepLimit {
+		t.Fatalf("setup run stopped for %v", res.StopReason)
+	}
+	st, err := snapshot.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Elapsed = time.Hour // pretend the first segment burned the budget
+	opts.TotalSteps = 0
+	opts.TimeLimit = time.Minute
+	res, err := ResumeStateContext(context.Background(), spec, opts, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StopReason != StopDeadline {
+		t.Fatalf("stopped for %v, want StopDeadline", res.StopReason)
+	}
+	if res.Elapsed < time.Hour {
+		t.Fatalf("cumulative elapsed %v lost the prior segments", res.Elapsed)
+	}
+}

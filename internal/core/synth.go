@@ -54,6 +54,15 @@ type Result struct {
 	// restarts, the DedupMaxEntries cap, or memory-pressure resets. Zero
 	// when Options.Dedup is off.
 	DedupEvictions int64
+	// Resumed reports that this run continued from a checkpoint
+	// (ResumeContext) rather than starting fresh. Counters (Steps, Nodes,
+	// Restarts, the dedup counters) and Elapsed are cumulative across all
+	// segments of the run.
+	Resumed bool
+	// Checkpoints is how many snapshots this segment wrote successfully,
+	// including the final flush on a resumable stop. Zero when
+	// Options.Checkpoint is unset.
+	Checkpoints int
 	// Err is non-nil only when the run was aborted by a recovered internal
 	// invariant panic (StopReason == StopInternalError). The rest of the
 	// Result is zero in that case; the process survives.
@@ -175,6 +184,18 @@ type searcher struct {
 	sortBuf            []scored
 	factorBuf          []bits.Mask
 	deltaBuf           []bits.Mask
+
+	// Checkpoint/resume state (see state.go). startTime is this segment's
+	// run() entry; prevElapsed is the wall-clock accumulated by earlier
+	// segments, so prevElapsed+time.Since(startTime) is the cumulative
+	// elapsed the snapshot format stores and Result reports.
+	startTime     time.Time
+	prevElapsed   time.Duration
+	resumed       bool
+	ckptCount     int
+	lastCkptSteps int
+	lastCkptTime  time.Time
+	ckptTimeIn    int // expansions until the next wall-clock cadence check
 }
 
 type firstMove struct {
@@ -386,16 +407,24 @@ func (s *searcher) rerecordQueued() {
 }
 
 func (s *searcher) run() Result {
-	start := time.Now()
+	s.startTime = time.Now()
+	s.lastCkptTime = s.startTime
 	stop := StopNone
-	if s.root.spec.IsIdentity() {
-		return Result{Circuit: circuit.New(s.n), Found: true, Nodes: 1,
-			Elapsed: time.Since(start), StopReason: StopSolved}
+	// pending is a node popped but not yet expanded when a cancellation
+	// arrived: its half-finished step is rolled back so the final
+	// checkpoint records the clean "about to pop this node" state.
+	var pending *node
+	if !s.resumed {
+		if s.root.spec.IsIdentity() {
+			return Result{Circuit: circuit.New(s.n), Found: true, Nodes: 1,
+				Elapsed: time.Since(s.startTime), StopReason: StopSolved}
+		}
+		s.emit(EventPush, s.root)
+		s.push(s.root)
 	}
-	s.emit(EventPush, s.root)
-	s.push(s.root)
 
 	for {
+		s.maybeCheckpoint()
 		if s.opts.TotalSteps > 0 && s.steps >= s.opts.TotalSteps {
 			stop = StopStepLimit
 			break
@@ -433,6 +462,14 @@ func (s *searcher) run() Result {
 		s.stepsSinceRestart++
 		if r, halt := s.interrupted(); halt {
 			stop = r
+			// Roll the half-finished step back: un-count the pop and hand
+			// the node to the final checkpoint as the head of the queue,
+			// so the resumed run re-pops it as its first step and the
+			// interrupted/uninterrupted traces stay identical.
+			s.steps--
+			s.stepsSinceRestart--
+			s.queueBytes += parent.mem
+			pending = parent
 			break
 		}
 		s.emit(EventPop, parent)
@@ -463,13 +500,23 @@ func (s *searcher) run() Result {
 		}
 	}
 
+	if resumableStop(stop) {
+		// The run can be continued later: flush a final checkpoint so the
+		// on-disk state matches the exact step boundary we stopped at.
+		// Non-resumable stops (solved, exhausted) leave the previous
+		// periodic checkpoint in place; callers delete it on success.
+		s.writeCheckpoint(pending)
+	}
+
 	res := Result{
 		Steps:          s.steps,
 		Nodes:          s.nodes,
 		Restarts:       s.restarts,
-		Elapsed:        time.Since(start),
+		Elapsed:        s.prevElapsed + time.Since(s.startTime),
 		StopReason:     stop,
 		PeakQueueBytes: s.peakBytes,
+		Resumed:        s.resumed,
+		Checkpoints:    s.ckptCount,
 	}
 	if s.tt != nil {
 		res.DedupHits = s.tt.hits

@@ -1,13 +1,18 @@
 package exp
 
 import (
+	"bufio"
 	"context"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"repro/internal/circuit"
 	"repro/internal/core"
+	"repro/internal/pprm"
 	"repro/internal/rng"
 )
 
@@ -32,6 +37,25 @@ type ScalabilityConfig struct {
 	// Library for generated circuits (the paper mixes GT and NCT; GT is
 	// the default).
 	Library circuit.Library
+
+	// CheckpointDir, when non-empty, makes the sweep interruptible: every
+	// completed sample is appended to an on-disk ledger, the in-flight
+	// synthesis checkpoints its search state, and a rerun with the same
+	// configuration replays the ledger (re-deriving each sample's workload
+	// from the deterministic RNG stream without re-synthesizing) and
+	// resumes the interrupted synthesis exactly where it stopped. A ledger
+	// written under a different configuration is discarded, not misapplied.
+	CheckpointDir string
+	// CheckpointInterval is the wall-clock cadence of the in-flight
+	// synthesis checkpoints; 0 selects 10 s.
+	CheckpointInterval time.Duration
+}
+
+// fingerprint identifies the workload a ledger belongs to: every field that
+// changes which samples are generated or how they are judged.
+func (c *ScalabilityConfig) fingerprint() string {
+	return fmt.Sprintf("scalability maxgates=%d samples=%d vars=%d-%d seed=%d steps=%d lib=%d",
+		c.MaxGateCount, c.SamplesPerVar, c.MinVars, c.MaxVars, c.Seed, c.TotalSteps, c.Library)
 }
 
 // TableVConfig, TableVIConfig, TableVIIConfig return the paper's setups
@@ -64,32 +88,194 @@ type ScalabilityResult struct {
 
 // Scalability runs the random-circuit resynthesis sweep. Canceling ctx
 // ends the sweep after the in-flight synthesis; completed rows are kept
-// and failures record the stop reason.
+// and failures record the stop reason. With Config.CheckpointDir set the
+// interruption is durable: a rerun replays the completed samples from the
+// ledger and resumes the interrupted synthesis from its checkpoint.
 func Scalability(ctx context.Context, cfg ScalabilityConfig) *ScalabilityResult {
 	res := &ScalabilityResult{Config: cfg}
 	src := rng.New(cfg.Seed)
+	led := openLedger(&cfg)
+	defer led.close()
 	for n := cfg.MinVars; n <= cfg.MaxVars && ctx.Err() == nil; n++ {
 		row := ScalabilityRow{Vars: n}
 		start := time.Now()
 		for i := 0; i < cfg.SamplesPerVar && ctx.Err() == nil; i++ {
+			// The workload is a deterministic function of the RNG stream,
+			// so replayed samples still draw from it — the generated
+			// circuit is identical, only the synthesis is skipped.
 			gates := 1 + src.Intn(cfg.MaxGateCount)
 			c := circuit.Random(n, gates, cfg.Library, src)
+			if done, outcome := led.lookup(n, i); done {
+				outcome.apply(&row.Hist)
+				continue
+			}
 			spec := c.PPRM()
 			opts := core.DefaultOptions()
 			opts.FirstSolution = true
 			opts.TotalSteps = cfg.TotalSteps
 			opts.MaxGates = 40
-			r := core.SynthesizeContext(ctx, spec, opts)
+			var r core.Result
+			if resumed, ok := led.resume(ctx, spec, opts); ok {
+				r = resumed
+			} else {
+				opts.Checkpoint = led.checkpointOptions()
+				r = core.SynthesizeContext(ctx, spec, opts)
+			}
+			if ctx.Err() != nil && r.StopReason == core.StopCanceled {
+				// Interrupted mid-sample; its checkpoint (flushed by the
+				// search) carries the partial work to the next run.
+				break
+			}
 			if r.Found {
 				row.Hist.Add(r.Circuit.Len())
 			} else {
 				row.Hist.AddFailure(r.StopReason)
 			}
+			led.append(n, i, r)
 		}
 		row.Elapsed = time.Since(start)
 		res.Rows = append(res.Rows, row)
 	}
 	return res
+}
+
+// sampleOutcome is one ledger entry: a found gate count or a stop reason.
+type sampleOutcome struct {
+	found bool
+	gates int
+	stop  core.StopReason
+}
+
+func (o sampleOutcome) apply(h *Histogram) {
+	if o.found {
+		h.Add(o.gates)
+	} else {
+		h.AddFailure(o.stop)
+	}
+}
+
+// ledger is the durable progress record of one Scalability sweep: a
+// header line fingerprinting the configuration, then one line per
+// completed sample ("vars index found gates stop"). Appended and flushed
+// after every sample, so a crash loses at most the in-flight one — which
+// the core checkpoint covers. A nil-dir ledger is inert and costs nothing.
+type ledger struct {
+	dir      string
+	interval time.Duration
+	done     map[[2]int]sampleOutcome
+	f        *os.File
+	w        *bufio.Writer
+	fresh    bool // no prior ledger: nothing to resume
+}
+
+func openLedger(cfg *ScalabilityConfig) *ledger {
+	if cfg.CheckpointDir == "" {
+		return &ledger{}
+	}
+	led := &ledger{
+		dir:      cfg.CheckpointDir,
+		interval: cfg.CheckpointInterval,
+		done:     make(map[[2]int]sampleOutcome),
+		fresh:    true,
+	}
+	if led.interval <= 0 {
+		led.interval = 10 * time.Second
+	}
+	os.MkdirAll(cfg.CheckpointDir, 0o755)
+	path := led.ledgerPath()
+	fp := cfg.fingerprint()
+	if data, err := os.ReadFile(path); err == nil {
+		lines := splitLines(string(data))
+		if len(lines) > 0 && lines[0] == fp {
+			led.fresh = false
+			for _, line := range lines[1:] {
+				var n, i, gates, stop int
+				var found bool
+				if _, err := fmt.Sscanf(line, "%d %d %t %d %d", &n, &i, &found, &gates, &stop); err == nil {
+					led.done[[2]int{n, i}] = sampleOutcome{found: found, gates: gates, stop: core.StopReason(stop)}
+				}
+			}
+		}
+		// A fingerprint mismatch means the ledger belongs to a different
+		// workload: it is discarded below by truncating the file.
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		// Degrade to an in-memory-only sweep; the run still completes.
+		return &ledger{}
+	}
+	if len(led.done) == 0 {
+		f.Truncate(0)
+		led.w = bufio.NewWriter(f)
+		fmt.Fprintln(led.w, fp)
+	} else {
+		f.Seek(0, io.SeekEnd)
+		led.w = bufio.NewWriter(f)
+	}
+	led.f = f
+	led.w.Flush()
+	return led
+}
+
+func (l *ledger) ledgerPath() string { return filepath.Join(l.dir, "scalability.ledger") }
+func (l *ledger) ckptPath() string   { return filepath.Join(l.dir, "scalability.ckpt") }
+func (l *ledger) enabled() bool      { return l.f != nil }
+func (l *ledger) lookup(n, i int) (bool, sampleOutcome) {
+	o, ok := l.done[[2]int{n, i}]
+	return ok, o
+}
+
+func (l *ledger) checkpointOptions() core.Checkpoint {
+	if !l.enabled() {
+		return core.Checkpoint{}
+	}
+	return core.Checkpoint{Path: l.ckptPath(), Interval: l.interval}
+}
+
+// resume attempts to continue the first unfinished sample from the sweep's
+// in-flight checkpoint. Any failure — no file, damage, or a snapshot for a
+// different sample (spec mismatch) — falls back to a fresh synthesis.
+func (l *ledger) resume(ctx context.Context, spec *pprm.Spec, opts core.Options) (core.Result, bool) {
+	if !l.enabled() || l.fresh {
+		return core.Result{}, false
+	}
+	opts.Checkpoint = l.checkpointOptions()
+	r, err := core.ResumeContext(ctx, spec, opts, l.ckptPath())
+	if err != nil {
+		return core.Result{}, false
+	}
+	return r, true
+}
+
+// append records a completed sample and retires the in-flight checkpoint.
+func (l *ledger) append(n, i int, r core.Result) {
+	if !l.enabled() {
+		return
+	}
+	gates := 0
+	if r.Found {
+		gates = r.Circuit.Len()
+	}
+	fmt.Fprintf(l.w, "%d %d %t %d %d\n", n, i, r.Found, gates, int(r.StopReason))
+	l.w.Flush()
+	os.Remove(l.ckptPath())
+}
+
+func (l *ledger) close() {
+	if l.f != nil {
+		l.w.Flush()
+		l.f.Close()
+	}
+}
+
+func splitLines(s string) []string {
+	var out []string
+	for _, line := range strings.Split(s, "\n") {
+		if line != "" {
+			out = append(out, line)
+		}
+	}
+	return out
 }
 
 // Write renders the sweep in the paper's bucketed form (circuit-size

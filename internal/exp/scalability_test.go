@@ -1,0 +1,167 @@
+package exp
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/circuit"
+)
+
+func scalabilityTestConfig(dir string) ScalabilityConfig {
+	return ScalabilityConfig{
+		MaxGateCount: 8, SamplesPerVar: 3,
+		MinVars: 6, MaxVars: 7, Seed: 11, TotalSteps: 20000,
+		Library: circuit.GT, CheckpointDir: dir,
+	}
+}
+
+// rowOutcomes strips the wall-clock column so interrupted and
+// uninterrupted sweeps can be compared for identical results.
+func rowOutcomes(res *ScalabilityResult) []Histogram {
+	var out []Histogram
+	for _, row := range res.Rows {
+		out = append(out, row.Hist)
+	}
+	return out
+}
+
+func ledgerLines(t *testing.T, dir string) []string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(dir, "scalability.ledger"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return splitLines(string(data))
+}
+
+// TestScalabilityLedgerReplay proves the durable sweep: a full run leaves
+// a complete ledger and no in-flight checkpoint; a rerun over a partial
+// ledger replays the recorded samples (without re-appending them) and
+// re-synthesizes the rest, landing on exactly the uninterrupted result.
+func TestScalabilityLedgerReplay(t *testing.T) {
+	ctx := context.Background()
+	ref := Scalability(ctx, scalabilityTestConfig(""))
+
+	dir := t.TempDir()
+	cfg := scalabilityTestConfig(dir)
+	full := Scalability(ctx, cfg)
+	if !reflect.DeepEqual(rowOutcomes(full), rowOutcomes(ref)) {
+		t.Fatalf("ledgered sweep diverged from plain sweep:\n%+v\nvs\n%+v",
+			rowOutcomes(full), rowOutcomes(ref))
+	}
+	lines := ledgerLines(t, dir)
+	wantLines := 1 + cfg.SamplesPerVar*(cfg.MaxVars-cfg.MinVars+1)
+	if len(lines) != wantLines {
+		t.Fatalf("ledger has %d lines, want %d: %q", len(lines), wantLines, lines)
+	}
+	if !strings.HasPrefix(lines[0], "scalability ") {
+		t.Errorf("ledger header missing: %q", lines[0])
+	}
+	if _, err := os.Stat(filepath.Join(dir, "scalability.ckpt")); !os.IsNotExist(err) {
+		t.Errorf("in-flight checkpoint not retired after the sweep: %v", err)
+	}
+
+	// Simulate a crash after three samples: keep the header plus three
+	// entries and rerun.
+	partial := strings.Join(lines[:4], "\n") + "\n"
+	if err := os.WriteFile(filepath.Join(dir, "scalability.ledger"), []byte(partial), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rerun := Scalability(ctx, cfg)
+	if !reflect.DeepEqual(rowOutcomes(rerun), rowOutcomes(ref)) {
+		t.Errorf("replayed sweep diverged:\n%+v\nvs\n%+v",
+			rowOutcomes(rerun), rowOutcomes(ref))
+	}
+	// Replayed samples must not be re-appended: the rerun only adds the
+	// three it actually synthesized.
+	if lines := ledgerLines(t, dir); len(lines) != wantLines {
+		t.Errorf("ledger has %d lines after replay, want %d", len(lines), wantLines)
+	}
+}
+
+// TestScalabilityLedgerFingerprintMismatch: a ledger written under a
+// different workload must be discarded, never misapplied.
+func TestScalabilityLedgerFingerprintMismatch(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	Scalability(ctx, scalabilityTestConfig(dir))
+
+	other := scalabilityTestConfig(dir)
+	other.Seed = 12
+	ref := Scalability(ctx, func() ScalabilityConfig { c := other; c.CheckpointDir = ""; return c }())
+	res := Scalability(ctx, other)
+	if !reflect.DeepEqual(rowOutcomes(res), rowOutcomes(ref)) {
+		t.Errorf("stale ledger contaminated a different workload:\n%+v\nvs\n%+v",
+			rowOutcomes(res), rowOutcomes(ref))
+	}
+	if lines := ledgerLines(t, dir); lines[0] != other.fingerprint() {
+		t.Errorf("ledger header not rewritten: %q", lines[0])
+	}
+}
+
+// TestScalabilityDamagedCheckpointFallsBack: garbage in the in-flight
+// checkpoint must degrade to a fresh synthesis of that sample, not fail
+// or corrupt the sweep.
+func TestScalabilityDamagedCheckpointFallsBack(t *testing.T) {
+	ctx := context.Background()
+	ref := Scalability(ctx, scalabilityTestConfig(""))
+
+	dir := t.TempDir()
+	cfg := scalabilityTestConfig(dir)
+	lines := ledgerLinesAfterFullRun(t, ctx, cfg)
+	partial := strings.Join(lines[:3], "\n") + "\n"
+	if err := os.WriteFile(filepath.Join(dir, "scalability.ledger"), []byte(partial), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "scalability.ckpt"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res := Scalability(ctx, cfg)
+	if !reflect.DeepEqual(rowOutcomes(res), rowOutcomes(ref)) {
+		t.Errorf("damaged checkpoint changed the sweep:\n%+v\nvs\n%+v",
+			rowOutcomes(res), rowOutcomes(ref))
+	}
+	if _, err := os.Stat(filepath.Join(dir, "scalability.ckpt")); !os.IsNotExist(err) {
+		t.Errorf("damaged checkpoint not retired: %v", err)
+	}
+}
+
+func ledgerLinesAfterFullRun(t *testing.T, ctx context.Context, cfg ScalabilityConfig) []string {
+	t.Helper()
+	Scalability(ctx, cfg)
+	return ledgerLines(t, cfg.CheckpointDir)
+}
+
+// TestScalabilityInterruptedSweepResumes interrupts a live sweep (once
+// the ledger shows progress) and proves the rerun completes it with the
+// uninterrupted result — the end-to-end durability contract.
+func TestScalabilityInterruptedSweepResumes(t *testing.T) {
+	ref := Scalability(context.Background(), scalabilityTestConfig(""))
+
+	dir := t.TempDir()
+	cfg := scalabilityTestConfig(dir)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		path := filepath.Join(dir, "scalability.ledger")
+		for {
+			if data, err := os.ReadFile(path); err == nil && len(splitLines(string(data))) > 1 {
+				cancel()
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	Scalability(ctx, cfg) // partial; any progress is fine
+
+	rerun := Scalability(context.Background(), cfg)
+	if !reflect.DeepEqual(rowOutcomes(rerun), rowOutcomes(ref)) {
+		t.Errorf("interrupted-then-rerun sweep diverged:\n%+v\nvs\n%+v",
+			rowOutcomes(rerun), rowOutcomes(ref))
+	}
+}

@@ -1,6 +1,7 @@
 package pprm
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/bits"
@@ -91,6 +92,31 @@ func (ts *TermSet) Clone() TermSet {
 // Terms returns the terms in ascending mask order. The slice aliases the
 // set's storage and must not be modified.
 func (ts *TermSet) Terms() []bits.Mask { return ts.terms }
+
+// Cap returns the capacity of the backing term storage. The synthesis
+// memory accounting (Spec.MemBytes) is capacity-based, so a checkpoint
+// that wants a byte-identical restore must record and reproduce it.
+func (ts *TermSet) Cap() int { return cap(ts.terms) }
+
+// RestoreSorted rebuilds a TermSet from a strictly increasing term list and
+// an explicit backing capacity, re-deriving the incremental hash from
+// scratch. It is the snapshot subsystem's inverse of Terms/Cap: the terms
+// are copied into a fresh slice of exactly the given capacity so MemBytes
+// reports the same value the serialized set did. The error is non-nil when
+// the list is not strictly increasing or the capacity is too small.
+func RestoreSorted(terms []bits.Mask, capacity int) (TermSet, error) {
+	if capacity < len(terms) {
+		return TermSet{}, fmt.Errorf("pprm: restore capacity %d < %d terms", capacity, len(terms))
+	}
+	for i := 1; i < len(terms); i++ {
+		if terms[i] <= terms[i-1] {
+			return TermSet{}, fmt.Errorf("pprm: restore terms not strictly increasing at index %d", i)
+		}
+	}
+	buf := make([]bits.Mask, len(terms), capacity)
+	copy(buf, terms)
+	return newSortedTermSet(buf), nil
+}
 
 // Sorted returns the terms ordered by ascending literal count, then mask —
 // the deterministic presentation order used for printing and candidate

@@ -102,6 +102,19 @@ func (q *Queue[T]) Each(f func(T)) {
 	}
 }
 
+// Ordered calls f for every queued item in precedence order: highest
+// priority first, FIFO among ties — exactly the order Pop would drain them.
+// It sorts the backing array in place, which is safe mid-search because a
+// descending-sorted array satisfies the max-heap property (the same fact
+// PruneTo relies on). The snapshot subsystem uses it to serialize the queue
+// so that a rebuilt queue, re-Pushed in this order, pops identically.
+func (q *Queue[T]) Ordered(f func(T)) {
+	sortEntries(q.items)
+	for i := range q.items {
+		f(q.items[i].value)
+	}
+}
+
 // Peek returns the highest-priority item without removing it.
 func (q *Queue[T]) Peek() (T, bool) {
 	if len(q.items) == 0 {

@@ -1,0 +1,160 @@
+// Package faultfs is a deterministic fault-injection filesystem for the
+// snapshot recovery tests. It wraps a real directory-backed snapshot.FS
+// and simulates a process crash at an exact operation index: every
+// filesystem operation before the crash point executes normally, the
+// operation at the crash point optionally takes partial effect (a torn
+// write persists a prefix of its bytes), and every operation after it
+// fails — like a process that died mid-checkpoint and whose temp files
+// linger. Enumerating crash points 0..Ops() therefore covers every
+// crash-at-a-write-point schedule of the checkpoint protocol.
+package faultfs
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/snapshot"
+)
+
+// ErrInjected is returned by every operation at and after the crash point.
+var ErrInjected = errors.New("faultfs: injected crash")
+
+// FS wraps an inner snapshot.FS with a crash schedule. The zero value is
+// unusable; use New.
+type FS struct {
+	inner snapshot.FS
+
+	mu      sync.Mutex
+	ops     int
+	crashAt int // operation index that crashes; -1 = never
+	tear    int // bytes a crashing Write persists before failing
+	crashed bool
+}
+
+// New returns an FS that executes operations 0..crashAt-1 normally and
+// crashes at operation crashAt (-1: never crash). If the crashing
+// operation is a Write, tear bytes of it are persisted first — a torn
+// write. Operations counted: CreateTemp, each Write, Sync, Close, Rename,
+// SyncDir, Remove.
+func New(inner snapshot.FS, crashAt, tear int) *FS {
+	if inner == nil {
+		inner = snapshot.DiskFS
+	}
+	return &FS{inner: inner, crashAt: crashAt, tear: tear}
+}
+
+// Ops returns how many operations have been attempted (including the
+// crashing one). Run a schedule with crashAt=-1 first to learn the total.
+func (f *FS) Ops() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// Crashed reports whether the crash point was reached.
+func (f *FS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// step consumes one operation slot; it reports whether the operation may
+// proceed and, for the crashing operation itself, whether it has partial
+// effect.
+func (f *FS) step() (proceed, atCrash bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	op := f.ops
+	f.ops++
+	if f.crashed {
+		return false, false
+	}
+	if f.crashAt >= 0 && op == f.crashAt {
+		f.crashed = true
+		return false, true
+	}
+	return true, false
+}
+
+func (f *FS) CreateTemp(dir, pattern string) (snapshot.File, error) {
+	ok, _ := f.step()
+	if !ok {
+		return nil, ErrInjected
+	}
+	file, err := f.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: file}, nil
+}
+
+func (f *FS) Rename(oldpath, newpath string) error {
+	ok, _ := f.step()
+	if !ok {
+		return ErrInjected
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FS) Remove(name string) error {
+	ok, _ := f.step()
+	if !ok {
+		return ErrInjected
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *FS) SyncDir(dir string) error {
+	ok, _ := f.step()
+	if !ok {
+		return ErrInjected
+	}
+	return f.inner.SyncDir(dir)
+}
+
+type faultFile struct {
+	fs    *FS
+	inner snapshot.File
+}
+
+func (f *faultFile) Name() string { return f.inner.Name() }
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	ok, atCrash := f.fs.step()
+	if !ok {
+		if atCrash {
+			// Torn write: a prefix of the data reaches the disk before
+			// the crash. The file is left behind exactly like a real
+			// interrupted write would leave it.
+			n := f.fs.tear
+			if n > len(p) {
+				n = len(p)
+			}
+			if n > 0 {
+				f.inner.Write(p[:n])
+			}
+			f.inner.Close()
+		}
+		return 0, ErrInjected
+	}
+	return f.inner.Write(p)
+}
+
+func (f *faultFile) Sync() error {
+	ok, _ := f.fs.step()
+	if !ok {
+		return ErrInjected
+	}
+	return f.inner.Sync()
+}
+
+func (f *faultFile) Close() error {
+	ok, atCrash := f.fs.step()
+	if !ok {
+		if atCrash {
+			f.inner.Close()
+		}
+		return ErrInjected
+	}
+	return f.inner.Close()
+}

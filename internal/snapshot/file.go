@@ -1,0 +1,107 @@
+package snapshot
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// FS is the filesystem seam WriteFile goes through. Production code uses
+// DiskFS; the fault-injection harness (internal/snapshot/faultfs) wraps it
+// to tear, fail, or "crash" at every individual operation, which is how
+// the recovery tests enumerate crash-at-every-write-point schedules.
+type FS interface {
+	// CreateTemp creates a new unique temporary file in dir (pattern as
+	// in os.CreateTemp).
+	CreateTemp(dir, pattern string) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file (best-effort cleanup of temp files).
+	Remove(name string) error
+	// SyncDir flushes the directory entry so the rename itself is durable.
+	SyncDir(dir string) error
+}
+
+// File is the writable handle CreateTemp returns.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+	Name() string
+}
+
+// DiskFS is the real-filesystem FS.
+var DiskFS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	return os.CreateTemp(dir, pattern)
+}
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	// Some filesystems refuse fsync on directories; the rename is still
+	// atomic there, only its durability window widens, so don't fail the
+	// checkpoint over it.
+	_ = d.Sync()
+	return d.Close()
+}
+
+// WriteFile atomically replaces path with the encoded state: the image is
+// written to a fresh temp file in the same directory, fsynced, closed,
+// renamed over path, and the directory entry is fsynced. A crash (or an
+// injected fault) at any point leaves either the previous file intact or
+// the new one complete — the partially written temp file is never visible
+// under path. On error the temp file is removed best-effort.
+func WriteFile(fs FS, path string, st *State) error {
+	if fs == nil {
+		fs = DiskFS
+	}
+	data := Encode(st)
+	dir := filepath.Dir(path)
+	f, err := fs.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("snapshot: create temp: %w", err)
+	}
+	tmp := f.Name()
+	fail := func(stage string, err error) error {
+		f.Close()
+		fs.Remove(tmp)
+		return fmt.Errorf("snapshot: %s: %w", stage, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		return fail("write", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail("sync", err)
+	}
+	if err := f.Close(); err != nil {
+		fs.Remove(tmp)
+		return fmt.Errorf("snapshot: close: %w", err)
+	}
+	if err := fs.Rename(tmp, path); err != nil {
+		fs.Remove(tmp)
+		return fmt.Errorf("snapshot: rename: %w", err)
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		return fmt.Errorf("snapshot: sync dir: %w", err)
+	}
+	return nil
+}
+
+// ReadFile loads and decodes a snapshot. A missing file surfaces as an
+// fs.ErrNotExist-wrapping error (no checkpoint yet — callers start fresh);
+// damage surfaces as ErrCorrupt / ErrVersionSkew / ErrNotSnapshot.
+func ReadFile(path string) (*State, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(data)
+}

@@ -39,33 +39,55 @@ func ParsePLA(text string) (*Table, error) {
 	return t, err
 }
 
+// plaRow records where and how a minterm was first specified, so a later
+// respecification can be diagnosed as a harmless duplicate or a genuine
+// conflict — a conflicting file describes no function at all, reversible
+// or otherwise, and must never reach the embedder.
+type plaRow struct {
+	line      int
+	out, care uint32
+}
+
 // parsePLA is the shared scanner; care[x] records which output bits of row
 // x were explicitly specified as 0 or 1.
 func parsePLA(text string) (*Table, []uint32, error) {
 	inputs, outputs := -1, -1
 	var t *Table
 	var care []uint32
-	seen := map[uint32]bool{}
+	seen := map[uint32]plaRow{}
+	ended := false
 	for lineNo, raw := range strings.Split(text, "\n") {
 		line := strings.TrimSpace(raw)
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
+		if ended {
+			return nil, nil, fmt.Errorf("pla: line %d: content after .e terminator", lineNo+1)
+		}
 		if strings.HasPrefix(line, ".") {
 			fields := strings.Fields(line)
 			switch fields[0] {
 			case ".i":
+				// Redefinition is rejected outright: once cubes exist the
+				// table shape is committed, and a silent change would index
+				// rows of the wrong width.
+				if inputs >= 0 {
+					return nil, nil, fmt.Errorf("pla: line %d: duplicate .i directive", lineNo+1)
+				}
 				if len(fields) != 2 || !parsePLAInt(fields[1], &inputs) || inputs < 1 || inputs > 24 {
 					return nil, nil, fmt.Errorf("pla: line %d: bad .i", lineNo+1)
 				}
 			case ".o":
+				if outputs >= 0 {
+					return nil, nil, fmt.Errorf("pla: line %d: duplicate .o directive", lineNo+1)
+				}
 				if len(fields) != 2 || !parsePLAInt(fields[1], &outputs) || outputs < 1 || outputs > 30 {
 					return nil, nil, fmt.Errorf("pla: line %d: bad .o", lineNo+1)
 				}
 			case ".p", ".ilb", ".ob", ".type":
 				// informative only
 			case ".e", ".end":
-				// terminator
+				ended = true
 			default:
 				return nil, nil, fmt.Errorf("pla: line %d: unsupported directive %s", lineNo+1, fields[0])
 			}
@@ -99,11 +121,16 @@ func parsePLA(text string) (*Table, []uint32, error) {
 				return nil, nil, fmt.Errorf("pla: line %d: bad output char %q", lineNo+1, fields[1][j])
 			}
 		}
-		if err := expandPLACube(fields[0], inputs, func(x uint32) error {
-			if seen[x] {
-				return fmt.Errorf("pla: line %d: row %0*b specified twice", lineNo+1, inputs, x)
+		if err := expandPLACube(fields[0], inputs, lineNo+1, func(x uint32) error {
+			if prev, ok := seen[x]; ok {
+				if prev.out == outVal && prev.care == careVal {
+					return fmt.Errorf("pla: line %d: row %0*b duplicates line %d",
+						lineNo+1, inputs, x, prev.line)
+				}
+				return fmt.Errorf("pla: line %d: row %0*b conflicts with line %d",
+					lineNo+1, inputs, x, prev.line)
 			}
-			seen[x] = true
+			seen[x] = plaRow{line: lineNo + 1, out: outVal, care: careVal}
 			t.Rows[x] = outVal
 			care[x] = careVal
 			return nil
@@ -117,7 +144,13 @@ func parsePLA(text string) (*Table, []uint32, error) {
 	return t, care, nil
 }
 
+// parsePLAInt parses a small decimal without risking overflow: directive
+// arguments beyond six digits are far past every supported shape, so they
+// are rejected before the arithmetic could wrap.
 func parsePLAInt(s string, out *int) bool {
+	if len(s) == 0 || len(s) > 6 {
+		return false
+	}
 	n := 0
 	for _, r := range s {
 		if r < '0' || r > '9' {
@@ -131,7 +164,7 @@ func parsePLAInt(s string, out *int) bool {
 
 // expandPLACube enumerates the minterms of an input cube. PLA convention:
 // the leftmost character is the most significant input.
-func expandPLACube(cube string, inputs int, f func(uint32) error) error {
+func expandPLACube(cube string, inputs, lineNo int, f func(uint32) error) error {
 	var dcs []int
 	var base uint32
 	for pos, r := range cube {
@@ -143,7 +176,7 @@ func expandPLACube(cube string, inputs int, f func(uint32) error) error {
 		case '-', '~':
 			dcs = append(dcs, int(bit))
 		default:
-			return fmt.Errorf("pla: bad input char %q in cube %q", r, cube)
+			return fmt.Errorf("pla: line %d: bad input char %q in cube %q", lineNo, r, cube)
 		}
 	}
 	for m := 0; m < 1<<uint(len(dcs)); m++ {

@@ -57,19 +57,54 @@ func TestParsePLADontCareInputs(t *testing.T) {
 
 func TestParsePLAErrors(t *testing.T) {
 	cases := []string{
-		"",                       // empty
-		".i 2\n01 1",             // cube before .o
-		".i 2\n.o 1\n0 1",        // wrong cube width
-		".i 2\n.o 1\n0x 1",       // bad input char
-		".i 2\n.o 1\n01 x",       // bad output char
-		".i 2\n.o 1\n01 1\n01 1", // duplicate row
-		".i 2\n.o 1\n-- 1\n0- 0", // overlap via don't cares
-		".qq 3",                  // unknown directive
-		".i 0\n.o 1\n 1",         // bad .i
+		"",                            // empty
+		".i 2\n01 1",                  // cube before .o
+		".i 2\n.o 1\n0 1",             // wrong cube width
+		".i 2\n.o 1\n0x 1",            // bad input char
+		".i 2\n.o 1\n01 x",            // bad output char
+		".i 2\n.o 1\n01 1\n01 1",      // duplicate row
+		".i 2\n.o 1\n-- 1\n0- 0",      // overlap via don't cares
+		".qq 3",                       // unknown directive
+		".i 0\n.o 1\n 1",              // bad .i
+		".i 1\n.o 1\n0 1\n.i 2\n01 1", // .i redefined after a cube
+		".i 2\n.i 2\n.o 1\n01 1",      // duplicate .i
+		".i 2\n.o 1\n.o 1\n01 1",      // duplicate .o
+		".i 99999999999999999\n.o 1",  // .i overflow
+		".i 2\n.o 1\n01 1\n.e\n10 1",  // cube after terminator
+		".i 2\n.o 1\n01 1\n.e\n.i 2",  // directive after terminator
 	}
 	for _, c := range cases {
 		if _, err := ParsePLA(c); err == nil {
 			t.Errorf("ParsePLA(%q) should fail", c)
+		}
+	}
+}
+
+// TestParsePLADiagnostics checks that respecified rows are diagnosed with
+// both line numbers, distinguishing harmless duplicates from genuine
+// conflicts (a conflicting file describes no function at all).
+func TestParsePLADiagnostics(t *testing.T) {
+	cases := []struct {
+		text string
+		want []string
+	}{
+		{".i 2\n.o 1\n01 1\n01 1", []string{"line 4", "duplicates line 3"}},
+		{".i 2\n.o 1\n01 1\n01 0", []string{"line 4", "conflicts with line 3"}},
+		{".i 2\n.o 1\n-- 1\n0- 0", []string{"line 4", "conflicts with line 3"}},
+		{".i 1\n.o 1\n0 1\n.i 2\n01 1", []string{"line 4", "duplicate .i"}},
+		{".i 2\n.o 1\n01 1\n.e\n10 1", []string{"line 5", "after .e"}},
+		{".i 2\n.o 1\n0z 1", []string{"line 3", "bad input char"}},
+	}
+	for _, c := range cases {
+		_, err := ParsePLA(c.text)
+		if err == nil {
+			t.Errorf("ParsePLA(%q) should fail", c.text)
+			continue
+		}
+		for _, want := range c.want {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("ParsePLA(%q) error %q missing %q", c.text, err, want)
+			}
 		}
 	}
 }

@@ -1,0 +1,110 @@
+package rmrls
+
+// Resume determinism over the paper's worked examples: every one of the
+// Section V-C functions is synthesized uninterrupted, then again in two
+// segments split at a seeded-random step with a checkpoint in between.
+// The resumed run must land on the exact same outcome — same circuit,
+// same counters — and every found circuit must verify against the
+// specification. This is the end-to-end guarantee that a long run killed
+// at an arbitrary point loses nothing.
+
+import (
+	"context"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func resumeExampleOptions() Options {
+	opts := DefaultOptions()
+	// Deterministic budget: large enough to solve most worked examples,
+	// bounded so the hard ones terminate; wall-clock limits would make
+	// the interrupt point machine-dependent.
+	opts.TotalSteps = 40000
+	return opts
+}
+
+func TestResumeDeterminismWorkedExamples(t *testing.T) {
+	if testing.Short() {
+		t.Skip("resynthesizes all 14 worked examples twice")
+	}
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(20260806))
+	for _, b := range bench.Examples() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			spec, err := b.PPRMSpec()
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := resumeExampleOptions()
+			ref := SynthesizeSpecContext(ctx, spec, opts)
+			if ref.Steps < 2 {
+				t.Skipf("only %d steps: no interior interrupt point", ref.Steps)
+			}
+
+			// Interrupt at a seeded-random interior step; the step budget
+			// stands in for the asynchronous kill deterministically.
+			k := 1 + rng.Intn(ref.Steps-1)
+			path := filepath.Join(t.TempDir(), "example.ckpt")
+			seg1opts := opts
+			seg1opts.TotalSteps = k
+			seg1opts.Checkpoint = Checkpoint{Path: path, EverySteps: 1 << 30}
+			seg1 := SynthesizeSpecContext(ctx, spec, seg1opts)
+			if seg1.StopReason != StopStepLimit {
+				t.Fatalf("segment 1 stopped with %v at step %d, want step limit", seg1.StopReason, k)
+			}
+			if seg1.Checkpoints == 0 {
+				t.Fatal("segment 1 flushed no checkpoint")
+			}
+
+			res, err := ResumeSpecContext(ctx, spec, opts, path)
+			if err != nil {
+				t.Fatalf("resume at step %d: %v", k, err)
+			}
+			if !res.Resumed {
+				t.Error("result not marked Resumed")
+			}
+			if res.Found != ref.Found {
+				t.Fatalf("interrupt at step %d/%d: found=%v, uninterrupted found=%v",
+					k, ref.Steps, res.Found, ref.Found)
+			}
+			if res.Found {
+				if got, want := res.Circuit.Len(), ref.Circuit.Len(); got != want {
+					t.Errorf("interrupt at step %d/%d: %d gates, uninterrupted %d",
+						k, ref.Steps, got, want)
+				}
+				if got, want := res.Circuit.String(), ref.Circuit.String(); got != want {
+					t.Errorf("interrupt at step %d/%d changed the circuit:\n%s\nvs\n%s",
+						k, ref.Steps, got, want)
+				}
+				// Verify gates every resumed result where the permutation
+				// is tabulated (the wide shifters carry only a PPRM).
+				if b.Spec != nil {
+					if err := Verify(res.Circuit, b.Spec); err != nil {
+						t.Errorf("resumed circuit does not realize %s: %v", b.Name, err)
+					}
+				}
+			}
+			if res.Steps != ref.Steps || res.Nodes != ref.Nodes || res.Restarts != ref.Restarts {
+				t.Errorf("interrupt at step %d: steps/nodes/restarts %d/%d/%d, uninterrupted %d/%d/%d",
+					k, res.Steps, res.Nodes, res.Restarts, ref.Steps, ref.Nodes, ref.Restarts)
+			}
+			if res.StopReason != ref.StopReason {
+				t.Errorf("interrupt at step %d: stop %v, uninterrupted %v", k, res.StopReason, ref.StopReason)
+			}
+			if res.DedupHits != ref.DedupHits || res.DedupMisses != ref.DedupMisses ||
+				res.DedupEvictions != ref.DedupEvictions {
+				t.Errorf("interrupt at step %d: dedup counters %d/%d/%d, uninterrupted %d/%d/%d",
+					k, res.DedupHits, res.DedupMisses, res.DedupEvictions,
+					ref.DedupHits, ref.DedupMisses, ref.DedupEvictions)
+			}
+			if res.PeakQueueBytes != ref.PeakQueueBytes {
+				t.Errorf("interrupt at step %d: peak memory %d, uninterrupted %d",
+					k, res.PeakQueueBytes, ref.PeakQueueBytes)
+			}
+		})
+	}
+}

@@ -30,6 +30,9 @@ type (
 	Gate = circuit.Gate
 	// Options configures the RMRLS search.
 	Options = core.Options
+	// Checkpoint configures durable crash-safe snapshots of a running
+	// search (Options.Checkpoint); see ResumeSpecContext.
+	Checkpoint = core.Checkpoint
 	// Result is a synthesis outcome.
 	Result = core.Result
 	// StopReason records why a synthesis run returned (solved, canceled,
@@ -101,6 +104,28 @@ func SynthesizeSpec(s *Spec, opts Options) Result {
 // SynthesizeSpecContext is SynthesizeSpec with cancellation.
 func SynthesizeSpecContext(ctx context.Context, s *Spec, opts Options) Result {
 	return core.SynthesizeContext(ctx, s, opts)
+}
+
+// Typed resume errors (see ResumeSpecContext). Every one of them means
+// "start fresh", never "fail the job".
+var (
+	ErrSpecMismatch    = core.ErrSpecMismatch
+	ErrOptionsMismatch = core.ErrOptionsMismatch
+	ErrInvalidState    = core.ErrInvalidState
+)
+
+// ResumeContext continues a checkpointed synthesis of the function p from
+// the snapshot at path, exactly where it left off; see Options.Checkpoint
+// for how snapshots are written. Budget options (time and step limits) may
+// differ from the original run's; everything that shapes the search must
+// fingerprint-match or ErrOptionsMismatch is returned.
+func ResumeContext(ctx context.Context, p Perm, opts Options, path string) (Result, error) {
+	return core.ResumePermContext(ctx, p, opts, path)
+}
+
+// ResumeSpecContext is ResumeContext for a PPRM expansion.
+func ResumeSpecContext(ctx context.Context, s *Spec, opts Options, path string) (Result, error) {
+	return core.ResumeContext(ctx, s, opts, path)
 }
 
 // Verify checks that a circuit realizes the function p.
