@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/exp"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -54,6 +55,11 @@ func dispatch(ctx context.Context, cmd string, args []string) {
 		steps   = fs.Int("steps", 0, "deterministic per-function step budget override")
 		only    = fs.String("only", "", "table4: comma-separated benchmark names")
 		ckptDir = fs.String("checkpoint-dir", "", "tables 5-7: make the sweep interruptible — progress ledger + in-flight search checkpoint in this directory; rerun with the same flags to continue")
+
+		progress     = fs.Bool("progress", false, "tables 5-7: live single-line progress display on stderr")
+		metricsJSON  = fs.String("metrics-json", "", "tables 5-7: append periodic JSON-lines progress snapshots to this file")
+		metricsAddr  = fs.String("metrics-addr", "", "tables 5-7: serve /debug/vars (expvar) and /debug/pprof on this host:port")
+		metricsEvery = fs.Duration("metrics-interval", obs.DefaultInterval, "progress snapshot cadence")
 	)
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
@@ -119,7 +125,29 @@ func dispatch(ctx context.Context, cmd string, args []string) {
 			cfg.TotalSteps = *steps
 		}
 		cfg.CheckpointDir = *ckptDir
-		exp.Scalability(ctx, cfg).Write(w)
+		pipeOpts := obs.PipelineOptions{
+			Progress: *progress,
+			JSONPath: *metricsJSON,
+			Addr:     *metricsAddr,
+			Interval: *metricsEvery,
+		}
+		var pipe *obs.Pipeline
+		if pipeOpts.Enabled() {
+			cfg.Observe = obs.NewRun(cmd)
+			var err error
+			pipe, err = obs.StartPipeline(cfg.Observe, pipeOpts)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			if addr := pipe.Addr(); addr != "" {
+				fmt.Fprintf(os.Stderr, "# metrics: http://%s/debug/vars and /debug/pprof\n", addr)
+			}
+			defer pipe.Stop()
+		}
+		res := exp.Scalability(ctx, cfg)
+		pipe.Stop() // release the progress line before rendering the table
+		res.Write(w)
 
 	case "examples":
 		fmt.Fprintf(w, "== Section V-C worked examples (Figs. 3(d), 7, 8) ==\n")

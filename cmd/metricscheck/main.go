@@ -1,0 +1,90 @@
+// Command metricscheck validates a metrics JSON-lines file produced by
+// `rmrls -metrics-json` (or `experiments -metrics-json`): every line must
+// be a parseable ProgressSnapshot, and the final snapshot of the named run
+// must be done. With -gates it additionally checks that the final
+// snapshot's best gate count matches the circuit the CLI printed — the CI
+// observability smoke uses this to prove the telemetry agrees with the
+// actual result.
+//
+// Usage:
+//
+//	metricscheck [-label rmrls] [-gates N] metrics.jsonl
+//
+// Exit status 0 if the file validates, 1 otherwise.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("metricscheck", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	label := fs.String("label", "rmrls", "run label whose final snapshot is checked")
+	gates := fs.Int("gates", -1, "expected final best gate count (-1 = don't check)")
+	if err := fs.Parse(args); err != nil || fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: metricscheck [-label L] [-gates N] metrics.jsonl")
+		return 1
+	}
+
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "metricscheck:", err)
+		return 1
+	}
+	defer f.Close()
+
+	var last obs.ProgressSnapshot
+	lines, matched := 0, 0
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		lines++
+		var snap obs.ProgressSnapshot
+		if err := json.Unmarshal(line, &snap); err != nil {
+			fmt.Fprintf(os.Stderr, "metricscheck: line %d unparseable: %v\n", lines, err)
+			return 1
+		}
+		if snap.Label == *label {
+			last = snap
+			matched++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "metricscheck:", err)
+		return 1
+	}
+	if lines == 0 {
+		fmt.Fprintln(os.Stderr, "metricscheck: metrics file is empty")
+		return 1
+	}
+	if matched == 0 {
+		fmt.Fprintf(os.Stderr, "metricscheck: no snapshots labeled %q in %d lines\n", *label, lines)
+		return 1
+	}
+	if !last.Done {
+		fmt.Fprintf(os.Stderr, "metricscheck: final %q snapshot is not done (stop=%q)\n", *label, last.Stop)
+		return 1
+	}
+	if *gates >= 0 && last.BestGates != *gates {
+		fmt.Fprintf(os.Stderr, "metricscheck: final best_gates=%d, expected %d\n", last.BestGates, *gates)
+		return 1
+	}
+	fmt.Printf("metricscheck: ok — %d lines, %d %q snapshots, final stop=%q best_gates=%d\n",
+		lines, matched, *label, last.Stop, last.BestGates)
+	return 0
+}

@@ -41,6 +41,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fredkin"
 	"repro/internal/mmd"
+	"repro/internal/obs"
 	"repro/internal/perm"
 	"repro/internal/pprm"
 	"repro/internal/tt"
@@ -98,6 +99,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		diagram   = fs.Bool("diagram", false, "draw the circuit")
 		trace     = fs.Bool("trace", false, "print the search trace (pops/pushes/solutions)")
 		quiet     = fs.Bool("q", false, "print only the circuit")
+
+		progress     = fs.Bool("progress", false, "show a live single-line progress display on stderr")
+		metricsJSON  = fs.String("metrics-json", "", "append periodic JSON-lines progress snapshots to this file")
+		metricsAddr  = fs.String("metrics-addr", "", "serve /debug/vars (expvar) and /debug/pprof on this host:port")
+		metricsEvery = fs.Duration("metrics-interval", obs.DefaultInterval, "progress snapshot cadence")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 1
@@ -160,6 +166,30 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	pipeOpts := obs.PipelineOptions{
+		Progress: *progress,
+		TTYOut:   stderr,
+		JSONPath: *metricsJSON,
+		Addr:     *metricsAddr,
+		Interval: *metricsEvery,
+	}
+	var pipe *obs.Pipeline
+	if pipeOpts.Enabled() {
+		opts.Observe = obs.NewRun("rmrls")
+		var err error
+		pipe, err = obs.StartPipeline(opts.Observe, pipeOpts)
+		if err != nil {
+			fmt.Fprintln(stderr, "rmrls:", err)
+			return 1
+		}
+		if addr := pipe.Addr(); addr != "" {
+			fmt.Fprintf(stderr, "# metrics: http://%s/debug/vars and /debug/pprof\n", addr)
+		}
+		// Stop is idempotent: the eager call below releases the progress
+		// line before the circuit prints; the defer covers early returns.
+		defer pipe.Stop()
+	}
+
 	var res core.Result
 	switch {
 	case *portfolio:
@@ -184,6 +214,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	default:
 		res = core.SynthesizeContext(ctx, spec, opts)
 	}
+	pipe.Stop() // flush the final snapshots before printing the result
 	if *ckptPath != "" {
 		switch res.StopReason {
 		case core.StopSolved, core.StopQueueExhausted, core.StopRestartsExhausted:

@@ -3,11 +3,15 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 func TestLoadSpecPermLiteral(t *testing.T) {
@@ -87,6 +91,60 @@ func TestRunSuccessExitsZero(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "stop=solved") {
 		t.Errorf("stats line missing stop reason:\n%s", out.String())
+	}
+}
+
+// TestRunMetricsJSON: -metrics-json must produce a parseable JSON-lines
+// file whose final snapshot is done, solved, and agrees with the printed
+// gate count.
+func TestRunMetricsJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.jsonl")
+	var out, errb bytes.Buffer
+	code := run(context.Background(),
+		[]string{"-metrics-json", path, "-progress", "-bench", "rd53"},
+		&out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, errb.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last obs.ProgressSnapshot
+	lines := 0
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var snap obs.ProgressSnapshot
+		if err := json.Unmarshal([]byte(line), &snap); err != nil {
+			t.Fatalf("unparseable metrics line %q: %v", line, err)
+		}
+		lines++
+		if snap.Label == "rmrls" {
+			last = snap
+		}
+	}
+	if lines == 0 {
+		t.Fatal("metrics file is empty")
+	}
+	if !last.Done || last.Stop != "solved" {
+		t.Errorf("final snapshot done=%v stop=%q, want a solved run", last.Done, last.Stop)
+	}
+	// The snapshot's best circuit must agree with the printed stats line.
+	var printed int
+	for _, line := range strings.Split(out.String(), "\n") {
+		if strings.HasPrefix(line, "# gates=") {
+			fmt.Sscanf(line, "# gates=%d", &printed)
+		}
+	}
+	if printed == 0 || last.BestGates != printed {
+		t.Errorf("final snapshot best_gates=%d, printed gates=%d", last.BestGates, printed)
+	}
+	if last.Steps != last.Nodes && last.Steps <= 0 {
+		t.Errorf("final snapshot has no work recorded: %+v", last)
+	}
+	// The TTY progress sink writes to stderr and must end with a newline so
+	// subsequent diagnostics start on a fresh line.
+	if errb.Len() > 0 && !strings.HasSuffix(errb.String(), "\n") {
+		t.Errorf("progress output does not end in newline: %q", errb.String())
 	}
 }
 

@@ -1,0 +1,93 @@
+package circuit
+
+import "testing"
+
+// TestGateCostAllBranches pins every branch of the Section II-D cost model
+// to the paper's figures: the fixed small-gate costs (sizes 1–5), the
+// ancilla-rich linear regime (≥ m−3 free wires → 12(m−3)+2), the
+// single-ancilla regime (≥ 1 free wire → 24(m−4)+4), and the no-ancilla
+// exponential fallback (2^m − 3).
+func TestGateCostAllBranches(t *testing.T) {
+	cases := []struct {
+		size, wires int
+		want        int
+		branch      string
+	}{
+		// Fixed costs, independent of free wires.
+		{1, 1, 1, "NOT"},
+		{1, 8, 1, "NOT with ancillae"},
+		{2, 2, 1, "CNOT"},
+		{2, 8, 1, "CNOT with ancillae"},
+		{3, 3, 5, "TOF3 (Barenco et al.)"},
+		{3, 9, 5, "TOF3 with ancillae"},
+		{4, 4, 13, "TOF4"},
+		{4, 10, 13, "TOF4 with ancillae"},
+		{5, 5, 29, "TOF5"},
+		{5, 11, 29, "TOF5 with ancillae"},
+
+		// m ≥ 6, free ≥ m−3: 12(m−3)+2.
+		{6, 9, 38, "size 6, exactly m−3 free"},
+		{6, 12, 38, "size 6, more than m−3 free"},
+		{7, 11, 50, "size 7, exactly m−3 free"},
+		{8, 13, 62, "size 8, exactly m−3 free"},
+		{10, 17, 86, "size 10, exactly m−3 free"},
+
+		// m ≥ 6, 1 ≤ free < m−3: 24(m−4)+4.
+		{6, 7, 52, "size 6, one free wire"},
+		{6, 8, 52, "size 6, two free wires (still < m−3)"},
+		{7, 8, 76, "size 7, one free wire"},
+		{8, 9, 100, "size 8, one free wire"},
+		{8, 12, 100, "size 8, four free wires (still < m−3)"},
+		{10, 12, 148, "size 10, two free wires"},
+
+		// m ≥ 6, no free wires: 2^m − 3.
+		{6, 6, 61, "size 6, gate fills the circuit"},
+		{7, 7, 125, "size 7, gate fills the circuit"},
+		{8, 8, 253, "size 8, gate fills the circuit"},
+	}
+	for _, c := range cases {
+		if got := GateCost(c.size, c.wires); got != c.want {
+			t.Errorf("GateCost(size=%d, wires=%d) = %d, want %d (%s)",
+				c.size, c.wires, got, c.want, c.branch)
+		}
+	}
+}
+
+// TestGateCostRegimeBoundaries walks the free-wire count across both regime
+// changes for one gate size: the cost must step down when the first ancilla
+// appears and again when the m−3rd does, and stay flat elsewhere.
+func TestGateCostRegimeBoundaries(t *testing.T) {
+	const size = 8
+	wantByFree := map[int]int{
+		0: 253, // 2^8 − 3
+		1: 100, // 24·4 + 4
+		4: 100, // still the single-ancilla regime
+		5: 62,  // 12·5 + 2: free = m−3 unlocks the linear construction
+		9: 62,  // extra ancillae beyond m−3 don't help further
+	}
+	for free, want := range wantByFree {
+		if got := GateCost(size, size+free); got != want {
+			t.Errorf("GateCost(size=%d, free=%d) = %d, want %d", size, free, got, want)
+		}
+	}
+}
+
+// TestQuantumCostMixedCascade sums the model over one gate of every size
+// 1–6 on a 9-wire circuit: 1 + 1 + 5 + 13 + 29 + 38 = 87. Every fixed-cost
+// branch and the ancilla-rich branch contribute to the same total.
+func TestQuantumCostMixedCascade(t *testing.T) {
+	c, err := Parse(9, "TOF1(a) TOF2(a,b) TOF3(a,b,c) TOF4(a,b,c,d) TOF5(a,b,c,d,e) TOF6(a,b,c,d,e,f)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.QuantumCost(); got != 87 {
+		t.Errorf("QuantumCost = %d, want 87", got)
+	}
+	// Per-gate costs through the Gate.Cost path.
+	wants := []int{1, 1, 5, 13, 29, 38}
+	for i, g := range c.Gates {
+		if got := g.Cost(c.Wires); got != wants[i] {
+			t.Errorf("gate %d (size %d): Cost = %d, want %d", i, g.Size(), got, wants[i])
+		}
+	}
+}

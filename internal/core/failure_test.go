@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/bits"
@@ -92,6 +93,65 @@ func TestAllSwaps(t *testing.T) {
 		if err := Verify(res.Circuit, p); err != nil {
 			t.Error(err)
 		}
+	}
+}
+
+// TestMergePrefersInformativeStopReason is the regression test for the
+// portfolio diagnosis bug: when no variant finds a circuit, the merged
+// StopReason came unconditionally from variant 0. If variant 0 died on a
+// recovered panic (StopInternalError) while the others legitimately ran
+// their budgets out, callers saw a misleading crash diagnosis instead of
+// the real "budget exhausted" answer.
+func TestMergePrefersInformativeStopReason(t *testing.T) {
+	crash := errors.New("search invariant violated: test")
+	results := []Result{
+		{StopReason: StopInternalError, Err: crash},
+		{StopReason: StopRestartsExhausted},
+		{StopReason: StopStepLimit},
+	}
+	merged := mergeResults(results, false)
+	if merged.StopReason != StopRestartsExhausted {
+		t.Errorf("merged StopReason = %v, want %v (first informative reason)",
+			merged.StopReason, StopRestartsExhausted)
+	}
+	if !errors.Is(merged.Err, crash) {
+		t.Errorf("merged Err = %v, want the variant-0 crash surfaced", merged.Err)
+	}
+
+	// Variant 0's reason stays authoritative when it is informative: it ran
+	// the caller's own configuration.
+	results = []Result{
+		{StopReason: StopStepLimit},
+		{StopReason: StopInternalError, Err: crash},
+		{StopReason: StopRestartsExhausted},
+	}
+	merged = mergeResults(results, false)
+	if merged.StopReason != StopStepLimit {
+		t.Errorf("merged StopReason = %v, want variant 0's %v", merged.StopReason, StopStepLimit)
+	}
+	if !errors.Is(merged.Err, crash) {
+		t.Errorf("merged Err = %v, want the crash surfaced", merged.Err)
+	}
+
+	// All variants crashed: internal error is then the honest answer.
+	results = []Result{
+		{StopReason: StopInternalError, Err: crash},
+		{StopReason: StopInternalError, Err: crash},
+		{StopReason: StopInternalError, Err: crash},
+	}
+	if merged = mergeResults(results, false); merged.StopReason != StopInternalError {
+		t.Errorf("merged StopReason = %v, want %v when every variant crashed",
+			merged.StopReason, StopInternalError)
+	}
+
+	// Cancellation outranks everything.
+	results = []Result{
+		{StopReason: StopInternalError, Err: crash},
+		{StopReason: StopCanceled},
+		{StopReason: StopCanceled},
+	}
+	if merged = mergeResults(results, true); merged.StopReason != StopCanceled {
+		t.Errorf("merged StopReason = %v, want %v on canceled context", merged.StopReason, StopCanceled)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/circuit"
+	"repro/internal/obs"
 	"repro/internal/snapshot"
 )
 
@@ -141,6 +142,18 @@ type Options struct {
 	// Trace, when non-nil, receives an event for every node push, pop,
 	// and solution. Used to reproduce the Fig. 5 search walkthrough.
 	Trace func(Event)
+
+	// Observe, when non-nil, receives live run telemetry: the searcher
+	// stores its counters into the Run's atomics at the existing pollStride
+	// boundaries (never per node — the hot path stays allocation-free and
+	// the expansion trajectory is bit-identical to an unobserved run) and
+	// records solution and checkpoint events as they happen. Attach an
+	// obs.Publisher with sinks to turn the counters into periodic
+	// ProgressSnapshots; see internal/obs and docs/OBSERVABILITY.md.
+	// Unlike Trace, Observe is cheap enough for production runs and is
+	// honored by the parallel portfolio (each variant reports through its
+	// own child Run).
+	Observe *obs.Run
 
 	// Checkpoint configures periodic crash-safe snapshots of the complete
 	// searcher state; the zero value disables them. See the Checkpoint type

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"time"
 
@@ -38,6 +39,11 @@ func portfolioVariants(opts Options) []Options {
 		// variant's goroutine; tracing is a single-run debugging tool, so
 		// the portfolio drops it rather than racing on the caller's sink.
 		v.Trace = nil
+		// A shared Run would have every variant overwrite the others'
+		// gauges; SynthesizePortfolioContext reassigns per-variant child
+		// Runs so each goroutine reports individually and the parent
+		// aggregates them.
+		v.Observe = nil
 		mut(&v)
 		variants[i] = v
 	}
@@ -72,6 +78,11 @@ func SynthesizePortfolio(spec *pprm.Spec, opts Options, rounds int) Result {
 func SynthesizePortfolioContext(ctx context.Context, spec *pprm.Spec, opts Options, rounds int) Result {
 	start := time.Now()
 	variants := portfolioVariants(opts)
+	if opts.Observe != nil {
+		for i := range variants {
+			variants[i].Observe = opts.Observe.Child(fmt.Sprintf("variant%d", i))
+		}
+	}
 	results := make([]Result, len(variants))
 
 	pctx, cancel := context.WithCancel(ctx)
@@ -91,13 +102,28 @@ func SynthesizePortfolioContext(ctx context.Context, spec *pprm.Spec, opts Optio
 	}
 	wg.Wait()
 
+	// The parent Run is a pure aggregate over the variant (and tighten)
+	// children; the portfolio finishes it explicitly so the final snapshot
+	// reports done with the merged stop reason.
+	finishObs := func(r Result) Result {
+		if opts.Observe != nil {
+			opts.Observe.Finish(r.StopReason.String())
+		}
+		return r
+	}
+
 	best := mergeResults(results, ctx.Err() != nil)
 	best.Elapsed = time.Since(start)
 	if !best.Found {
-		return best
+		return finishObs(best)
 	}
 	tight := opts
 	tight.MaxGates = best.Circuit.Len() // bound the refinement's baseline
+	if opts.Observe != nil {
+		// The tightening rounds get their own child run (Begin folds each
+		// round's counters), keeping the parent a pure aggregate.
+		tight.Observe = opts.Observe.Child("tighten")
+	}
 	refined := synthesizeTightening(ctx, spec, tight, best.Circuit.Len(), rounds)
 	best.Steps += refined.Steps
 	best.Nodes += refined.Nodes
@@ -112,7 +138,7 @@ func SynthesizePortfolioContext(ctx context.Context, spec *pprm.Spec, opts Optio
 		best.StopReason = StopCanceled
 	}
 	best.Elapsed = time.Since(start)
-	return best
+	return finishObs(best)
 }
 
 // mergeResults folds the variant results into one, independent of the
@@ -150,12 +176,23 @@ func mergeResults(results []Result, canceled bool) Result {
 		merged.StopReason = StopSolved
 	default:
 		// Variant 0 runs the caller's own configuration; its reason is the
-		// one a single Synthesize call would have reported.
+		// one a single Synthesize call would have reported. But if variant 0
+		// died on a recovered panic while another variant ran its budget out
+		// legitimately, reporting StopInternalError would misdiagnose the
+		// whole portfolio as crashed: prefer the first informative
+		// non-internal reason (deterministic — ascending variant index) and
+		// keep the first error surfaced.
 		merged.StopReason = results[0].StopReason
-		merged.Err = firstErr
-		if results[0].Err != nil {
-			merged.Err = results[0].Err
+		if merged.StopReason == StopInternalError || merged.StopReason == StopNone {
+			for i := range results {
+				r := results[i].StopReason
+				if r != StopInternalError && r != StopNone {
+					merged.StopReason = r
+					break
+				}
+			}
 		}
+		merged.Err = firstErr
 	}
 	return merged
 }

@@ -235,7 +235,8 @@ func (s *searcher) writeCheckpoint(pending *node) {
 		return
 	}
 	st := s.exportState(pending)
-	if err := snapshot.WriteFile(ck.FS, ck.Path, st); err != nil {
+	n, err := snapshot.WriteFileN(ck.FS, ck.Path, st)
+	if err != nil {
 		if ck.OnError != nil {
 			ck.OnError(err)
 		}
@@ -244,6 +245,9 @@ func (s *searcher) writeCheckpoint(pending *node) {
 	s.ckptCount++
 	s.lastCkptSteps = s.steps
 	s.lastCkptTime = time.Now()
+	if o := s.opts.Observe; o != nil {
+		o.CheckpointWritten(n)
+	}
 }
 
 // restoreSearcher rebuilds a live searcher from a snapshot, validating

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/bits"
 	"repro/internal/circuit"
+	"repro/internal/obs"
 	"repro/internal/perm"
 	"repro/internal/pprm"
 	"repro/internal/queue"
@@ -93,6 +94,9 @@ func SynthesizeContext(ctx context.Context, spec *pprm.Spec, opts Options) (res 
 			res = Result{
 				StopReason: StopInternalError,
 				Err:        fmt.Errorf("core: synthesis aborted by internal error: %v", r),
+			}
+			if opts.Observe != nil {
+				opts.Observe.Finish(StopInternalError.String())
 			}
 		}
 	}()
@@ -267,6 +271,7 @@ func (s *searcher) interrupted() (StopReason, bool) {
 		return StopNone, false
 	}
 	s.pollIn = pollStride
+	s.observe()
 	if s.done != nil {
 		select {
 		case <-s.done:
@@ -278,6 +283,44 @@ func (s *searcher) interrupted() (StopReason, bool) {
 		return StopDeadline, true
 	}
 	return StopNone, false
+}
+
+// observe stores the searcher's counters into the attached obs.Run. It runs
+// only at pollStride boundaries (the caller is interrupted) and at run
+// start/finish — never per node — so observed and unobserved searches pop,
+// expand, and solve identically; the only cost is a dozen atomic stores per
+// stride.
+func (s *searcher) observe() {
+	o := s.opts.Observe
+	if o == nil {
+		return
+	}
+	c := obs.Counters{
+		Steps:      int64(s.steps),
+		Nodes:      int64(s.nodes),
+		Restarts:   int64(s.restarts),
+		QueueLen:   int64(s.pq.Len()),
+		QueueBytes: s.queueBytes,
+		TotalBytes: s.totalBytes(),
+		PeakBytes:  s.peakBytes,
+	}
+	if s.tt != nil {
+		c.DedupHits = s.tt.hits
+		c.DedupMisses = s.tt.misses
+		c.DedupEvictions = s.tt.evictions
+	}
+	o.Update(c)
+}
+
+// observeSolution reports a strictly improved circuit to the attached Run.
+// Solutions are rare, so materializing the cascade for its quantum cost is
+// off the hot path.
+func (s *searcher) observeSolution(sol *node) {
+	o := s.opts.Observe
+	if o == nil {
+		return
+	}
+	o.Solution(sol.depth, s.extract(sol).QuantumCost())
 }
 
 // exhaustionReason classifies a search whose queue drained and whose
@@ -409,13 +452,25 @@ func (s *searcher) rerecordQueued() {
 func (s *searcher) run() Result {
 	s.startTime = time.Now()
 	s.lastCkptTime = s.startTime
+	if o := s.opts.Observe; o != nil {
+		o.Begin(int64(s.opts.TotalSteps), s.opts.TimeLimit, s.opts.MaxMemory)
+	}
 	stop := StopNone
+	if s.resumed && s.bestSol != nil {
+		// A resumed run may already hold a best-so-far circuit; report it so
+		// the first snapshot does not pretend the run is solution-less.
+		s.observeSolution(s.bestSol)
+	}
 	// pending is a node popped but not yet expanded when a cancellation
 	// arrived: its half-finished step is rolled back so the final
 	// checkpoint records the clean "about to pop this node" state.
 	var pending *node
 	if !s.resumed {
 		if s.root.spec.IsIdentity() {
+			if o := s.opts.Observe; o != nil {
+				o.Solution(0, 0)
+				o.Finish(StopSolved.String())
+			}
 			return Result{Circuit: circuit.New(s.n), Found: true, Nodes: 1,
 				Elapsed: time.Since(s.startTime), StopReason: StopSolved}
 		}
@@ -526,6 +581,10 @@ func (s *searcher) run() Result {
 	if s.bestSol != nil {
 		res.Found = true
 		res.Circuit = s.extract(s.bestSol)
+	}
+	if o := s.opts.Observe; o != nil {
+		s.observe() // final counters, so the last snapshot is exact
+		o.Finish(stop.String())
 	}
 	return res
 }
@@ -705,6 +764,7 @@ func (s *searcher) expand(parent *node) {
 							s.tt.record(c.hash, childDepth)
 						}
 						s.emit(EventSolution, child)
+						s.observeSolution(child)
 					}
 					continue
 				}

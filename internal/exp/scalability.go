@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/circuit"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/pprm"
 	"repro/internal/rng"
 )
@@ -49,6 +50,13 @@ type ScalabilityConfig struct {
 	// CheckpointInterval is the wall-clock cadence of the in-flight
 	// synthesis checkpoints; 0 selects 10 s.
 	CheckpointInterval time.Duration
+
+	// Observe, when non-nil, receives live sweep telemetry: each variable
+	// count gets a child Run labeled "vars=N" whose counters accumulate
+	// over that row's samples, and the run's status tracks the in-flight
+	// sample index. Not part of the workload fingerprint — attaching a
+	// metrics sink never invalidates a ledger.
+	Observe *obs.Run
 }
 
 // fingerprint identifies the workload a ledger belongs to: every field that
@@ -98,6 +106,10 @@ func Scalability(ctx context.Context, cfg ScalabilityConfig) *ScalabilityResult 
 	defer led.close()
 	for n := cfg.MinVars; n <= cfg.MaxVars && ctx.Err() == nil; n++ {
 		row := ScalabilityRow{Vars: n}
+		var rowObs *obs.Run
+		if cfg.Observe != nil {
+			rowObs = cfg.Observe.Child(fmt.Sprintf("vars=%d", n))
+		}
 		start := time.Now()
 		for i := 0; i < cfg.SamplesPerVar && ctx.Err() == nil; i++ {
 			// The workload is a deterministic function of the RNG stream,
@@ -114,6 +126,10 @@ func Scalability(ctx context.Context, cfg ScalabilityConfig) *ScalabilityResult 
 			opts.FirstSolution = true
 			opts.TotalSteps = cfg.TotalSteps
 			opts.MaxGates = 40
+			if rowObs != nil {
+				rowObs.SetStatus(fmt.Sprintf("sample %d/%d", i+1, cfg.SamplesPerVar))
+				opts.Observe = rowObs
+			}
 			var r core.Result
 			if resumed, ok := led.resume(ctx, spec, opts); ok {
 				r = resumed
@@ -134,7 +150,24 @@ func Scalability(ctx context.Context, cfg ScalabilityConfig) *ScalabilityResult 
 			led.append(n, i, r)
 		}
 		row.Elapsed = time.Since(start)
+		if rowObs != nil {
+			if ctx.Err() != nil {
+				rowObs.Finish(core.StopCanceled.String())
+			} else {
+				rowObs.SetStatus(fmt.Sprintf("row complete: %d/%d solved", row.Hist.Total-row.Hist.Failed, row.Hist.Total))
+				rowObs.Finish("complete")
+			}
+		}
 		res.Rows = append(res.Rows, row)
+	}
+	if cfg.Observe != nil {
+		// The sweep root is a pure aggregate over the row children; finish
+		// it so the final snapshot reports done with the sweep's outcome.
+		stop := "complete"
+		if ctx.Err() != nil {
+			stop = core.StopCanceled.String()
+		}
+		cfg.Observe.Finish(stop)
 	}
 	return res
 }

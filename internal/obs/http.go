@@ -1,0 +1,31 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// ServeMetrics starts an HTTP server on addr exposing the process's expvar
+// registry at /debug/vars (including every ExpvarSink's snapshots) and the
+// standard pprof profiles under /debug/pprof/ — CPU and heap profiling of a
+// live long synthesis without restarting it. It returns the bound address
+// (useful with ":0") and a shutdown function. The server uses its own mux,
+// so nothing registered on http.DefaultServeMux leaks in.
+func ServeMetrics(addr string) (string, func(), error) {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return ln.Addr().String(), func() { srv.Close() }, nil
+}

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// PipelineOptions are the flag-level observability choices shared by the
+// rmrls and experiments commands: -progress, -metrics-json, -metrics-addr,
+// -metrics-interval map onto the fields one-for-one.
+type PipelineOptions struct {
+	// Progress enables the single-line TTY progress sink on TTYOut.
+	Progress bool
+	// TTYOut receives the progress line; nil selects os.Stderr. Progress
+	// goes to stderr so piping the synthesized circuit stays clean.
+	TTYOut io.Writer
+	// JSONPath, when non-empty, appends one JSON snapshot object per line
+	// to the named file.
+	JSONPath string
+	// Addr, when non-empty, serves /debug/vars (expvar, including the
+	// progress map) and /debug/pprof on the given host:port.
+	Addr string
+	// Interval is the publishing cadence; 0 selects DefaultInterval.
+	Interval time.Duration
+}
+
+// Enabled reports whether any observability output was requested.
+func (o PipelineOptions) Enabled() bool {
+	return o.Progress || o.JSONPath != "" || o.Addr != ""
+}
+
+// Pipeline is a started observability stack: sinks, publisher, and the
+// optional metrics HTTP server. Stop flushes the final snapshots, closes
+// the sinks, and shuts the server down.
+type Pipeline struct {
+	pub      *Publisher
+	jsonFile *os.File
+	httpStop func()
+	addr     string
+	once     sync.Once
+}
+
+// StartPipeline builds the sinks requested in opt, attaches them to run via
+// a Publisher, and starts publishing. A nil error means Stop must be called
+// exactly once. With no outputs requested it returns (nil, nil) — callers
+// may Stop a nil Pipeline safely.
+func StartPipeline(run *Run, opt PipelineOptions) (*Pipeline, error) {
+	if !opt.Enabled() {
+		return nil, nil
+	}
+	p := &Pipeline{}
+	var sinks []Sink
+	if opt.JSONPath != "" {
+		f, err := os.OpenFile(opt.JSONPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("metrics json: %w", err)
+		}
+		p.jsonFile = f
+		sinks = append(sinks, NewJSONLSink(f))
+	}
+	if opt.Addr != "" {
+		sinks = append(sinks, NewExpvarSink(DefaultExpvarName))
+		addr, stop, err := ServeMetrics(opt.Addr)
+		if err != nil {
+			if p.jsonFile != nil {
+				p.jsonFile.Close()
+			}
+			return nil, fmt.Errorf("metrics server: %w", err)
+		}
+		p.addr, p.httpStop = addr, stop
+	}
+	if opt.Progress {
+		out := opt.TTYOut
+		if out == nil {
+			out = os.Stderr
+		}
+		sinks = append(sinks, NewTTYSink(out))
+	}
+	p.pub = NewPublisher(run, opt.Interval, sinks...)
+	p.pub.Start()
+	return p, nil
+}
+
+// Addr returns the bound address of the metrics HTTP server ("" if none).
+func (p *Pipeline) Addr() string {
+	if p == nil {
+		return ""
+	}
+	return p.addr
+}
+
+// Stop publishes the final snapshots, closes every sink, and shuts down
+// the metrics server. Safe on a nil Pipeline and idempotent, so callers can
+// stop eagerly (to release the terminal before printing results) and still
+// keep a defer as the cleanup guarantee.
+func (p *Pipeline) Stop() {
+	if p == nil {
+		return
+	}
+	p.once.Do(func() {
+		p.pub.Stop()
+		if p.jsonFile != nil {
+			p.jsonFile.Close()
+		}
+		if p.httpStop != nil {
+			p.httpStop()
+		}
+	})
+}

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"time"
+)
+
+// Publisher samples a Run tree on a wall-clock interval and fans the
+// derived snapshots out to its sinks: the aggregate snapshot always, plus
+// one per child Run (portfolio variants, sweep rows) so concurrent
+// searches report individually. It owns one goroutine between Start and
+// Stop; Stop emits a final snapshot set — so sinks always see the finished
+// state — and closes the sinks.
+type Publisher struct {
+	run      *Run
+	sinks    []Sink
+	interval time.Duration
+
+	// rate memory: per-label previous (time, steps) for StepsPerSec.
+	prev map[string]ratePoint
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+type ratePoint struct {
+	nano  int64
+	steps int64
+}
+
+// DefaultInterval is the snapshot cadence when none is given.
+const DefaultInterval = time.Second
+
+// NewPublisher builds a Publisher over run emitting to sinks every
+// interval (DefaultInterval when interval <= 0). Nil sinks are dropped.
+func NewPublisher(run *Run, interval time.Duration, sinks ...Sink) *Publisher {
+	if interval <= 0 {
+		interval = DefaultInterval
+	}
+	kept := make([]Sink, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil {
+			kept = append(kept, s)
+		}
+	}
+	return &Publisher{
+		run:      run,
+		sinks:    kept,
+		interval: interval,
+		prev:     make(map[string]ratePoint),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Start launches the sampling goroutine. It must be balanced by exactly one
+// Stop.
+func (p *Publisher) Start() {
+	go func() {
+		defer close(p.done)
+		ticker := time.NewTicker(p.interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				p.publish(time.Now())
+			case <-p.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop halts sampling, emits one final snapshot set (so the last thing every
+// sink sees is the finished state — Done, stop reason, final best circuit),
+// and closes the sinks. It blocks until the goroutine has exited.
+func (p *Publisher) Stop() {
+	close(p.stop)
+	<-p.done
+	p.publish(time.Now())
+	for _, s := range p.sinks {
+		s.Close()
+	}
+}
+
+// publish derives and emits the current snapshot set.
+func (p *Publisher) publish(now time.Time) {
+	snaps := append([]ProgressSnapshot{p.run.Snapshot(now)}, p.run.ChildSnapshots(now)...)
+	for i := range snaps {
+		p.fillRate(&snaps[i], now)
+	}
+	for _, sink := range p.sinks {
+		for _, snap := range snaps {
+			sink.Emit(snap)
+		}
+	}
+}
+
+// fillRate computes StepsPerSec against the previous sample of the same
+// label.
+func (p *Publisher) fillRate(s *ProgressSnapshot, now time.Time) {
+	key := s.Label
+	if s.Aggregate {
+		key = "\x00aggregate\x00" + key // a child may share the root's label
+	}
+	if prev, ok := p.prev[key]; ok {
+		if dt := float64(now.UnixNano()-prev.nano) / 1e9; dt > 0 && s.Steps >= prev.steps {
+			s.StepsPerSec = float64(s.Steps-prev.steps) / dt
+		}
+	}
+	p.prev[key] = ratePoint{nano: now.UnixNano(), steps: s.Steps}
+}

@@ -51,13 +51,18 @@ func (o *Optimizer) Optimize(c *circuit.Circuit) *circuit.Circuit {
 	return out
 }
 
-// pass performs one left-to-right scan, applying the first profitable
-// window replacement.
+// pass performs one left-to-right scan, applying every profitable window
+// replacement it finds. After splicing a replacement in, the scan resumes
+// just before the replaced window — the replacement's head may cancel
+// against the preceding gate — instead of restarting from gate 0, which
+// made long cascades quadratic in the number of replacements. The scan
+// terminates because every replacement strictly shrinks the cascade.
 func (o *Optimizer) pass(wires int, gates []circuit.Gate) ([]circuit.Gate, bool) {
 	maxw := o.MaxWindow
 	if maxw <= 0 {
 		maxw = 8
 	}
+	changed := false
 	for i := 0; i < len(gates); i++ {
 		var support bits.Mask
 		for j := i; j < len(gates) && j < i+maxw; j++ {
@@ -71,14 +76,21 @@ func (o *Optimizer) pass(wires int, gates []circuit.Gate) ([]circuit.Gate, bool)
 			}
 			repl, ok := o.resynth(wires, gates[i:j+1], support)
 			if ok && len(repl) < windowLen {
-				out := append([]circuit.Gate{}, gates[:i]...)
-				out = append(out, repl...)
-				out = append(out, gates[j+1:]...)
-				return out, true
+				// Build the replacement's tail first so the in-place splice
+				// below cannot read gates it already overwrote.
+				rest := append(append([]circuit.Gate{}, repl...), gates[j+1:]...)
+				gates = append(gates[:i], rest...)
+				changed = true
+				// Resume one gate before the window (the loop's i++ lands
+				// on i-1; clamp so it lands on 0 at the cascade's start).
+				if i -= 2; i < -1 {
+					i = -1
+				}
+				break
 			}
 		}
 	}
-	return gates, false
+	return gates, changed
 }
 
 // resynth maps the window onto wires {0,1,2}, asks the optimal table for a

@@ -1,6 +1,7 @@
 package peephole
 
 import (
+	"strings"
 	"sync"
 	"testing"
 
@@ -106,6 +107,73 @@ func TestTwoWireCircuit(t *testing.T) {
 	}
 	if out.Len() > 3 {
 		t.Errorf("grew: %s", out)
+	}
+}
+
+// TestPassAppliesAllWindows is the regression test for the quadratic
+// restart bug: pass used to return after the FIRST profitable replacement,
+// so Optimize re-scanned from gate 0 once per replacement. A single pass
+// must now apply every profitable window, resuming just before each splice
+// so freshly adjacent gates still cancel.
+func TestPassAppliesAllWindows(t *testing.T) {
+	c, _ := circuit.Parse(3, "TOF3(c,a,b) TOF3(c,a,b) TOF1(a) TOF2(a,b) TOF2(a,b)")
+	o := optimizer()
+	gates, changed := o.pass(3, append([]circuit.Gate(nil), c.Gates...))
+	if !changed {
+		t.Fatal("pass applied no replacement")
+	}
+	// One scan: the TOF3 pair cancels, then the resumed scan sees
+	// TOF1 TOF2 TOF2 and reduces it to the lone TOF1. The pre-fix pass
+	// stopped after the first cancellation, leaving 3 gates.
+	if len(gates) != 1 {
+		out := circuit.New(3)
+		out.Gates = gates
+		t.Errorf("one pass left %d gates (%s), want 1", len(gates), out)
+	}
+}
+
+// TestLongCascadeCollapses drives the splice-and-resume logic through a
+// 52-gate identity cascade (26 cancelling pairs): every replacement makes
+// new neighbors adjacent, so resuming just before the window is what lets
+// one pass cascade the cancellations. Simulation-checked fixed point.
+func TestLongCascadeCollapses(t *testing.T) {
+	block := "TOF3(c,a,b) TOF3(c,a,b) TOF2(a,b) TOF2(a,b) "
+	c, err := circuit.Parse(3, strings.TrimSpace(strings.Repeat(block, 13)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 52 || !c.Perm().IsIdentity() {
+		t.Fatalf("bad fixture: %d gates, identity=%v", c.Len(), c.Perm().IsIdentity())
+	}
+	out := optimizer().Optimize(c)
+	if out.Len() != 0 {
+		t.Errorf("identity cascade left %d gates: %s", out.Len(), out)
+	}
+	if !out.Perm().Equal(c.Perm()) {
+		t.Error("function changed")
+	}
+}
+
+// TestFixedPointOnLongRandomCascade: optimizing a 55-gate cascade preserves
+// the function, never grows it, and a second optimization finds nothing
+// left to do.
+func TestFixedPointOnLongRandomCascade(t *testing.T) {
+	src := rng.New(77)
+	o := optimizer()
+	c := circuit.Random(4, 55, circuit.NCT, src)
+	out := o.Optimize(c)
+	if !out.Perm().Equal(c.Perm()) {
+		t.Fatal("function changed")
+	}
+	if out.Len() > c.Len() {
+		t.Fatalf("grew the circuit: %d → %d gates", c.Len(), out.Len())
+	}
+	again := o.Optimize(out)
+	if again.Len() != out.Len() {
+		t.Errorf("not a fixed point: %d → %d gates on the second run", out.Len(), again.Len())
+	}
+	if !again.Perm().Equal(c.Perm()) {
+		t.Error("function changed on the second run")
 	}
 }
 

@@ -50,7 +50,13 @@ func Export(c *circuit.Circuit, opts Options) (string, error) {
 	b.WriteString("OPENQASM 2.0;\n")
 	b.WriteString("include \"qelib1.inc\";\n")
 	if opts.Comments {
-		fmt.Fprintf(&b, "// %d-wire reversible cascade, %d gates\n", c.Wires, c.Len())
+		// The header must describe the program that follows — the lowered
+		// circuit — not the pre-decomposition input, whose wire and gate
+		// counts differ once large Toffoli gates are expanded.
+		fmt.Fprintf(&b, "// %d-wire reversible cascade, %d gates\n", lowered.Wires, lowered.Len())
+		if lowered != c {
+			fmt.Fprintf(&b, "// lowered from %d wires, %d gates (borrowed-ancilla decomposition)\n", c.Wires, c.Len())
+		}
 	}
 	fmt.Fprintf(&b, "qreg %s[%d];\n", reg, lowered.Wires)
 	declared := map[int]bool{}

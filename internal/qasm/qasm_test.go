@@ -1,6 +1,7 @@
 package qasm
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -70,6 +71,48 @@ func TestExportCustomRegister(t *testing.T) {
 	}
 	if !strings.Contains(out, "qreg wires[2];") || !strings.Contains(out, "// 2-wire") {
 		t.Errorf("custom register/comments missing:\n%s", out)
+	}
+}
+
+// TestExportCommentsMatchLoweredBody is the regression test for the header
+// bug: with Comments on, a 4-control gate was described with the
+// pre-decomposition wire and gate counts while the program body emitted the
+// lowered cascade — self-contradictory output for any consumer that trusts
+// the header. The header must describe the emitted program and note the
+// original separately.
+func TestExportCommentsMatchLoweredBody(t *testing.T) {
+	c, _ := circuit.Parse(6, "TOF5(e,d,c,b,a)") // 4 controls: gets decomposed
+	out, err := Export(c, Options{Comments: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	emitted := 0
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "x ") || strings.HasPrefix(line, "cx ") || strings.HasPrefix(line, "ccx ") {
+			emitted++
+		}
+	}
+	if emitted <= 1 {
+		t.Fatalf("expected the 4-control gate to decompose into several gates, got %d:\n%s", emitted, out)
+	}
+	wantHeader := fmt.Sprintf("// 6-wire reversible cascade, %d gates", emitted)
+	if !strings.Contains(out, wantHeader) {
+		t.Errorf("header does not describe the emitted program: want %q in:\n%s", wantHeader, out)
+	}
+	if !strings.Contains(out, "// lowered from 6 wires, 1 gates") {
+		t.Errorf("header should note the pre-decomposition original:\n%s", out)
+	}
+	// Unlowered exports must not claim a lowering happened.
+	small, _ := circuit.Parse(3, "TOF3(c,a,b)")
+	out, err = Export(small, Options{Comments: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "lowered from") {
+		t.Errorf("unlowered export claims a lowering:\n%s", out)
+	}
+	if !strings.Contains(out, "// 3-wire reversible cascade, 1 gates") {
+		t.Errorf("small-gate header wrong:\n%s", out)
 	}
 }
 

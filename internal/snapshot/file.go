@@ -60,6 +60,15 @@ func (osFS) SyncDir(dir string) error {
 // the new one complete — the partially written temp file is never visible
 // under path. On error the temp file is removed best-effort.
 func WriteFile(fs FS, path string, st *State) error {
+	_, err := WriteFileN(fs, path, st)
+	return err
+}
+
+// WriteFileN is WriteFile reporting the encoded image size in bytes — the
+// checkpoint write/flush telemetry the observability layer records (a
+// growing snapshot mirrors a growing frontier, and sudden size jumps often
+// explain checkpoint latency). The size is returned on success only.
+func WriteFileN(fs FS, path string, st *State) (int64, error) {
 	if fs == nil {
 		fs = DiskFS
 	}
@@ -67,7 +76,7 @@ func WriteFile(fs FS, path string, st *State) error {
 	dir := filepath.Dir(path)
 	f, err := fs.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
-		return fmt.Errorf("snapshot: create temp: %w", err)
+		return 0, fmt.Errorf("snapshot: create temp: %w", err)
 	}
 	tmp := f.Name()
 	fail := func(stage string, err error) error {
@@ -76,23 +85,23 @@ func WriteFile(fs FS, path string, st *State) error {
 		return fmt.Errorf("snapshot: %s: %w", stage, err)
 	}
 	if _, err := f.Write(data); err != nil {
-		return fail("write", err)
+		return 0, fail("write", err)
 	}
 	if err := f.Sync(); err != nil {
-		return fail("sync", err)
+		return 0, fail("sync", err)
 	}
 	if err := f.Close(); err != nil {
 		fs.Remove(tmp)
-		return fmt.Errorf("snapshot: close: %w", err)
+		return 0, fmt.Errorf("snapshot: close: %w", err)
 	}
 	if err := fs.Rename(tmp, path); err != nil {
 		fs.Remove(tmp)
-		return fmt.Errorf("snapshot: rename: %w", err)
+		return 0, fmt.Errorf("snapshot: rename: %w", err)
 	}
 	if err := fs.SyncDir(dir); err != nil {
-		return fmt.Errorf("snapshot: sync dir: %w", err)
+		return 0, fmt.Errorf("snapshot: sync dir: %w", err)
 	}
-	return nil
+	return int64(len(data)), nil
 }
 
 // ReadFile loads and decodes a snapshot. A missing file surfaces as an
