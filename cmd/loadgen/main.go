@@ -1,0 +1,313 @@
+// Command loadgen exercises a running rmrlsd with a stream of synthesis
+// requests and reports per-class latency percentiles plus shed, retry,
+// timeout, and error rates — the harness behind the service's backpressure
+// acceptance check: under overload, interactive p99 stays bounded while
+// excess load sheds with 429 instead of queueing unboundedly.
+//
+// Usage:
+//
+//	loadgen -addr localhost:8053 -n 200 -c 16 -batch-frac 0.5
+//	loadgen -addr localhost:8053 -burst -expect-shed   # overload probe
+//
+// Each request is a uniformly random reversible function on -vars
+// variables (seeded, so runs are reproducible) submitted with wait=true;
+// -bench substitutes a named paper benchmark instead. 429/503 responses
+// are retried up to -retries times honoring Retry-After; a request still
+// shed after its retry budget is counted (that is the point of an overload
+// probe), not an error. Exit status: 0 on success, 1 if any request
+// errored or -expect-shed saw no shedding.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/perm"
+	"repro/internal/rng"
+)
+
+type request struct {
+	Spec   specInput `json:"spec"`
+	Class  string    `json:"class,omitempty"`
+	Budget budget    `json:"budget,omitempty"`
+	Wait   bool      `json:"wait"`
+}
+
+type specInput struct {
+	Bench string `json:"bench,omitempty"`
+	Perm  string `json:"perm,omitempty"`
+}
+
+type budget struct {
+	TimeMillis int64 `json:"time_ms,omitempty"`
+	Steps      int   `json:"steps,omitempty"`
+}
+
+// jobReply is the subset of the server's job view loadgen inspects.
+type jobReply struct {
+	ID     string `json:"id"`
+	Status string `json:"status"`
+	Result *struct {
+		Found bool   `json:"found"`
+		Stop  string `json:"stop"`
+		Gates int    `json:"gates"`
+	} `json:"result"`
+	Error struct {
+		Field   string `json:"field"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// outcome classifies one request's final disposition.
+type outcome int
+
+const (
+	outSolved outcome = iota
+	outNoCircuit
+	outShedOut // still shed after all retries
+	outError
+	numOutcomes
+)
+
+// classStats accumulates one scheduling class's results.
+type classStats struct {
+	latencies []time.Duration // successful (solved or budget-exhausted) requests
+	counts    [numOutcomes]int
+	sheds     int // 429s observed (including retried-through ones)
+	retries   int
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr      = fs.String("addr", "localhost:8053", "rmrlsd host:port")
+		n         = fs.Int("n", 100, "total requests to send")
+		c         = fs.Int("c", 8, "concurrent clients")
+		batchFrac = fs.Float64("batch-frac", 0.5, "fraction of requests submitted as batch class")
+		vars      = fs.Int("vars", 4, "variable count of the random reversible functions")
+		steps     = fs.Int("steps", 50000, "per-request step budget (0 = server default)")
+		timeMS    = fs.Int64("time-ms", 10000, "per-request time budget in ms (0 = server default)")
+		benchName = fs.String("bench", "", "submit this named benchmark instead of random functions")
+		retries   = fs.Int("retries", 3, "retry budget per request on 429/503")
+		backoff   = fs.Duration("backoff", 200*time.Millisecond, "fallback retry delay when the server sends no Retry-After")
+		burst     = fs.Bool("burst", false, "fire every request at once (ignore -c) to probe shedding")
+		seed      = fs.Uint64("seed", 1, "random-function seed (reproducible workloads)")
+		expShed   = fs.Bool("expect-shed", false, "exit 1 unless at least one request was shed with 429")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+
+	// Pre-generate the workload so the generator RNG is outside the timed
+	// region and identical seeds give identical request streams.
+	type workItem struct {
+		body  []byte
+		class string
+	}
+	src := rng.New(*seed)
+	work := make([]workItem, *n)
+	for i := range work {
+		req := request{Wait: true, Budget: budget{TimeMillis: *timeMS, Steps: *steps}}
+		if i < int(float64(*n)**batchFrac) {
+			req.Class = "batch"
+		}
+		if *benchName != "" {
+			req.Spec.Bench = *benchName
+		} else {
+			req.Spec.Perm = perm.Random(*vars, src).String()
+		}
+		b, err := json.Marshal(&req)
+		if err != nil {
+			fmt.Fprintln(stderr, "loadgen:", err)
+			return 1
+		}
+		work[i] = workItem{body: b, class: req.Class}
+	}
+
+	url := "http://" + *addr + "/v1/jobs"
+	client := &http.Client{Timeout: time.Duration(*timeMS)*time.Millisecond + 30*time.Second}
+
+	workers := *c
+	if *burst {
+		workers = *n
+	}
+	if workers > *n {
+		workers = *n
+	}
+
+	var mu sync.Mutex
+	stats := map[string]*classStats{
+		"interactive": {},
+		"batch":       {},
+	}
+
+	record := func(class string, o outcome, lat time.Duration, sheds, retried int) {
+		if class == "" {
+			class = "interactive"
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		st := stats[class]
+		st.counts[o]++
+		st.sheds += sheds
+		st.retries += retried
+		if o == outSolved || o == outNoCircuit {
+			st.latencies = append(st.latencies, lat)
+		}
+	}
+
+	next := make(chan workItem)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for item := range next {
+				o, lat, sheds, retried := send(client, url, item.body, *retries, *backoff, stderr)
+				record(item.class, o, lat, sheds, retried)
+			}
+		}()
+	}
+	for _, item := range work {
+		next <- item
+	}
+	close(next)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	failed := report(stdout, stats, elapsed)
+	totalSheds := stats["interactive"].sheds + stats["batch"].sheds
+	if *expShed && totalSheds == 0 {
+		fmt.Fprintln(stderr, "loadgen: expected shedding but saw no 429s")
+		return 1
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+// send submits one request, retrying through 429/503 with the server's
+// Retry-After hint. Returns the outcome, end-to-end latency (including
+// retry waits — that is the latency the client experienced), the number of
+// 429s seen, and the number of retries spent.
+func send(client *http.Client, url string, body []byte, retries int, backoff time.Duration, stderr io.Writer) (outcome, time.Duration, int, int) {
+	start := time.Now()
+	sheds, retried := 0, 0
+	for attempt := 0; ; attempt++ {
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			fmt.Fprintln(stderr, "loadgen:", err)
+			return outError, time.Since(start), sheds, retried
+		}
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+
+		switch resp.StatusCode {
+		case http.StatusOK, http.StatusAccepted, http.StatusUnprocessableEntity:
+			var jr jobReply
+			if err := json.Unmarshal(data, &jr); err != nil {
+				fmt.Fprintln(stderr, "loadgen: bad response:", err)
+				return outError, time.Since(start), sheds, retried
+			}
+			if jr.Result != nil && jr.Result.Found {
+				return outSolved, time.Since(start), sheds, retried
+			}
+			return outNoCircuit, time.Since(start), sheds, retried
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			if resp.StatusCode == http.StatusTooManyRequests {
+				sheds++
+			}
+			if attempt >= retries {
+				if resp.StatusCode == http.StatusTooManyRequests {
+					return outShedOut, time.Since(start), sheds, retried
+				}
+				return outError, time.Since(start), sheds, retried
+			}
+			retried++
+			time.Sleep(retryDelay(resp, backoff))
+		default:
+			fmt.Fprintf(stderr, "loadgen: HTTP %d: %s\n", resp.StatusCode, bytes.TrimSpace(data))
+			return outError, time.Since(start), sheds, retried
+		}
+	}
+}
+
+// retryDelay honors the server's Retry-After hint, falling back to the
+// client-side backoff when absent or unparsable.
+func retryDelay(resp *http.Response, fallback time.Duration) time.Duration {
+	if v := resp.Header.Get("Retry-After"); v != "" {
+		if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	return fallback
+}
+
+// percentile picks the p-quantile from sorted latencies.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	idx := int(math.Floor(p * (float64(n) - 0.51)))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return sorted[idx]
+}
+
+// report prints the per-class summary and returns whether any request
+// ultimately failed (errors or shed-through-retries).
+func report(w io.Writer, stats map[string]*classStats, elapsed time.Duration) bool {
+	failed := false
+	total := 0
+	for _, class := range []string{"interactive", "batch"} {
+		st := stats[class]
+		sent := 0
+		for _, c := range st.counts {
+			sent += c
+		}
+		total += sent
+		if sent == 0 {
+			continue
+		}
+		sort.Slice(st.latencies, func(i, j int) bool { return st.latencies[i] < st.latencies[j] })
+		fmt.Fprintf(w, "%-11s  sent=%-4d solved=%-4d nocircuit=%-3d shed=%-3d errors=%-3d retries=%-3d\n",
+			class, sent, st.counts[outSolved], st.counts[outNoCircuit],
+			st.counts[outShedOut], st.counts[outError], st.retries)
+		if len(st.latencies) > 0 {
+			fmt.Fprintf(w, "%-11s  p50=%v p90=%v p99=%v\n", class,
+				percentile(st.latencies, 0.50).Round(time.Millisecond),
+				percentile(st.latencies, 0.90).Round(time.Millisecond),
+				percentile(st.latencies, 0.99).Round(time.Millisecond))
+		}
+		if st.counts[outError] > 0 {
+			failed = true
+		}
+	}
+	if elapsed > 0 && total > 0 {
+		fmt.Fprintf(w, "total        %d requests in %v (%.1f req/s)\n",
+			total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds())
+	}
+	return failed
+}

@@ -1,0 +1,160 @@
+// Command rmrlsd serves reversible-logic synthesis over HTTP: a bounded
+// job queue with interactive/batch priority classes, per-request budgets
+// clamped against server-wide ceilings, a fixed worker pool running the
+// RMRLS engine, and graceful checkpointing drain.
+//
+// Usage:
+//
+//	rmrlsd -addr :8053 -workers 4 -state /var/lib/rmrlsd
+//
+// API (see docs/SERVICE.md for the full contract):
+//
+//	POST /v1/jobs            submit a synthesis job (idempotent; ?wait blocks)
+//	GET  /v1/jobs/{id}        job status and result
+//	GET  /v1/jobs/{id}/stream JSON-lines progress until the job finishes
+//	GET  /v1/healthz          liveness, queue depths, counters
+//
+// A full queue sheds with 429 + Retry-After; nothing queues unboundedly.
+// On SIGTERM/SIGINT the server stops intake (503), cancels running
+// searches — each flushes a crash-safe checkpoint into -state — and writes
+// a ledger of unfinished jobs; the next start resumes them exactly where
+// they left off. A second signal forces exit with status 130.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+func main() {
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	os.Exit(run(os.Args[1:], sig, os.Stdout, os.Stderr))
+}
+
+// run is main's testable body: parse flags, start the server, block until a
+// shutdown signal, drain, and return the process exit code.
+func run(args []string, sig chan os.Signal, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rmrlsd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr     = fs.String("addr", ":8053", "host:port to serve the synthesis API on")
+		workers  = fs.Int("workers", 2, "worker-pool size (concurrent syntheses)")
+		queueInt = fs.Int("queue-interactive", 64, "interactive-class queue capacity")
+		queueBat = fs.Int("queue-batch", 256, "batch-class queue capacity")
+
+		maxTime  = fs.Duration("max-time", time.Minute, "per-request time-budget ceiling")
+		maxSteps = fs.Int("max-steps", 0, "per-request step-budget ceiling (0 = unlimited)")
+		maxMem   = fs.Int64("max-mem", 512, "per-request memory-budget ceiling in MiB")
+		maxGates = fs.Int("max-gates", 0, "per-request circuit-size ceiling (0 = unlimited)")
+
+		stateDir  = fs.String("state", "", "directory for drain checkpoints and the job ledger (empty disables drain persistence)")
+		ckptEvery = fs.Duration("checkpoint-interval", 30*time.Second, "periodic checkpoint cadence for running jobs")
+
+		drainTimeout = fs.Duration("drain-timeout", 2*time.Minute, "how long a shutdown waits for running jobs to checkpoint")
+		retryAfter   = fs.Duration("retry-after", time.Second, "base Retry-After hint on shed and drain responses")
+		metricsAddr  = fs.String("metrics-addr", "", "also serve /debug/vars and /debug/pprof on this host:port")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintln(stderr, "rmrlsd: unexpected arguments:", fs.Args())
+		return 1
+	}
+
+	srv, err := serve.New(serve.Config{
+		Workers:          *workers,
+		QueueInteractive: *queueInt,
+		QueueBatch:       *queueBat,
+		Ceiling: core.BudgetCeiling{
+			MaxTime:   *maxTime,
+			MaxSteps:  *maxSteps,
+			MaxMemory: *maxMem << 20,
+			MaxGates:  *maxGates,
+		},
+		StateDir:           *stateDir,
+		CheckpointInterval: *ckptEvery,
+		RetryAfter:         *retryAfter,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "rmrlsd:", err)
+		return 1
+	}
+	for _, note := range srv.RecoveryNotes() {
+		fmt.Fprintln(stderr, "rmrlsd: recovery:", note)
+	}
+	if n := srv.Stats().Recovered; n > 0 {
+		fmt.Fprintf(stderr, "rmrlsd: recovered %d unfinished job(s) from %s\n", n, *stateDir)
+	}
+	srv.Start()
+
+	if *metricsAddr != "" {
+		bound, stop, err := obs.ServeMetrics(*metricsAddr)
+		if err != nil {
+			fmt.Fprintln(stderr, "rmrlsd:", err)
+			return 1
+		}
+		defer stop()
+		fmt.Fprintf(stderr, "# metrics: http://%s/debug/vars and /debug/pprof\n", bound)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "rmrlsd:", err)
+		return 1
+	}
+	httpSrv := obs.NewHTTPServer(srv.Handler())
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	// Printed to stdout so scripts can scrape the bound address (":0" works).
+	fmt.Fprintf(stdout, "rmrlsd: listening on %s\n", ln.Addr())
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintln(stderr, "rmrlsd:", err)
+		return 1
+	case s := <-sig:
+		fmt.Fprintf(stderr, "rmrlsd: %v — draining (signal again to force exit)\n", s)
+	}
+
+	// Second signal forces the conventional 128+SIGINT exit; the atomic
+	// checkpoint protocol keeps whatever is already on disk usable.
+	forced := make(chan struct{})
+	go func() {
+		<-sig
+		close(forced)
+		os.Exit(130)
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		fmt.Fprintln(stderr, "rmrlsd: drain:", err)
+	}
+	shutCtx, shutCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer shutCancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		httpSrv.Close()
+	}
+	st := srv.Stats()
+	fmt.Fprintf(stderr, "rmrlsd: drained (completed=%d interrupted=%d shed=%d)\n",
+		st.Completed, st.Interrupted, st.Shed)
+	select {
+	case <-forced:
+		return 130
+	default:
+	}
+	return 0
+}

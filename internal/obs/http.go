@@ -5,14 +5,35 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"time"
 )
+
+// NewHTTPServer returns an http.Server over h hardened for the project's
+// operational endpoints: header and body reads are bounded so a stalled or
+// hostile client cannot pin a connection goroutine forever, idle keep-alive
+// connections are reaped, and oversized headers are rejected. The write
+// timeout is generous on purpose — it must outlast a 30-second pprof CPU
+// profile and the long-lived JSON-lines progress streams rmrlsd serves —
+// but it is still finite, so an abandoned stream is eventually torn down.
+// rmrlsd and ServeMetrics share this setup.
+func NewHTTPServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      15 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    1 << 20,
+	}
+}
 
 // ServeMetrics starts an HTTP server on addr exposing the process's expvar
 // registry at /debug/vars (including every ExpvarSink's snapshots) and the
 // standard pprof profiles under /debug/pprof/ — CPU and heap profiling of a
 // live long synthesis without restarting it. It returns the bound address
 // (useful with ":0") and a shutdown function. The server uses its own mux,
-// so nothing registered on http.DefaultServeMux leaks in.
+// so nothing registered on http.DefaultServeMux leaks in, and the hardened
+// NewHTTPServer timeouts, so a wedged scraper cannot leak connections.
 func ServeMetrics(addr string) (string, func(), error) {
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
@@ -25,7 +46,7 @@ func ServeMetrics(addr string) (string, func(), error) {
 	if err != nil {
 		return "", nil, err
 	}
-	srv := &http.Server{Handler: mux}
+	srv := NewHTTPServer(mux)
 	go srv.Serve(ln)
 	return ln.Addr().String(), func() { srv.Close() }, nil
 }

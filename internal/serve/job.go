@@ -1,0 +1,205 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/perm"
+	"repro/internal/pprm"
+	"repro/internal/snapshot"
+)
+
+// JobStatus is a job's lifecycle state.
+type JobStatus string
+
+const (
+	// StatusQueued: admitted, waiting for a worker.
+	StatusQueued JobStatus = "queued"
+	// StatusRunning: a worker is searching.
+	StatusRunning JobStatus = "running"
+	// StatusDone: the search completed (found or not — see the result's
+	// stop reason).
+	StatusDone JobStatus = "done"
+	// StatusFailed: the search aborted on an internal error, or the found
+	// circuit failed verification.
+	StatusFailed JobStatus = "failed"
+	// StatusInterrupted: a drain checkpointed the job mid-search; the next
+	// server start resumes it.
+	StatusInterrupted JobStatus = "interrupted"
+)
+
+// Job is one admitted synthesis request. Identity: the ID is the hex form
+// of the idempotency key, so a retried submission finds its original job by
+// construction and a restarted server re-creates jobs under their old IDs.
+type Job struct {
+	id    string
+	key   uint64
+	class Class
+	req   Request // original request, persisted in the drain ledger
+
+	spec   *pprm.Spec
+	fperm  perm.Perm
+	opts   core.Options
+	clamps []string
+
+	run *obs.Run
+	// resume holds the decoded drain checkpoint when the job was recovered
+	// by a restart; the worker continues the search from it.
+	resume *snapshot.State
+
+	mu        sync.Mutex
+	status    JobStatus
+	res       core.Result
+	verified  *bool
+	errMsg    string
+	note      string // operational note: resume fallback, clamp summary, ...
+	resumed   bool
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+
+	done chan struct{}
+}
+
+func newJob(c *compiled, req Request, now time.Time) *Job {
+	j := &Job{
+		id:        jobID(c.key),
+		key:       c.key,
+		class:     c.class,
+		req:       req,
+		spec:      c.spec,
+		fperm:     c.perm,
+		opts:      c.opts,
+		clamps:    c.clamps,
+		status:    StatusQueued,
+		submitted: now,
+		done:      make(chan struct{}),
+	}
+	j.run = obs.NewRun(j.id)
+	return j
+}
+
+// ID returns the job's stable identifier.
+func (j *Job) ID() string { return j.id }
+
+// Class returns the job's scheduling class.
+func (j *Job) Class() Class { return j.class }
+
+// Status returns the job's current lifecycle state.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}
+
+// Done returns a channel closed when the job reaches a terminal state
+// (done, failed, or interrupted by a drain).
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Run returns the job's live observability run.
+func (j *Job) Run() *obs.Run { return j.run }
+
+func (j *Job) markRunning(now time.Time) {
+	j.mu.Lock()
+	j.status = StatusRunning
+	j.started = now
+	j.mu.Unlock()
+}
+
+// finish records a terminal result. Idempotent close of done.
+func (j *Job) finish(status JobStatus, res core.Result, verified *bool, errMsg string, now time.Time) {
+	j.mu.Lock()
+	j.status = status
+	j.res = res
+	j.verified = verified
+	j.errMsg = errMsg
+	j.finished = now
+	j.mu.Unlock()
+	select {
+	case <-j.done:
+	default:
+		close(j.done)
+	}
+}
+
+// JobView is the JSON shape of a job returned by the API.
+type JobView struct {
+	ID           string   `json:"id"`
+	Status       string   `json:"status"`
+	Class        string   `json:"class"`
+	Deduplicated bool     `json:"deduplicated,omitempty"`
+	Clamped      []string `json:"clamped,omitempty"`
+	Note         string   `json:"note,omitempty"`
+	Resumed      bool     `json:"resumed,omitempty"`
+
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+
+	Result *ResultView `json:"result,omitempty"`
+	Error  string      `json:"error,omitempty"`
+}
+
+// ResultView is the JSON shape of a completed search. It deliberately
+// contains only deterministic fields — no wall-clock times — so that a
+// drained-and-resumed job's result is byte-identical to an uninterrupted
+// run's (the property the drain tests pin).
+type ResultView struct {
+	Found       bool   `json:"found"`
+	Stop        string `json:"stop"`
+	Circuit     string `json:"circuit,omitempty"`
+	Gates       int    `json:"gates,omitempty"`
+	QuantumCost int    `json:"quantum_cost,omitempty"`
+	Steps       int    `json:"steps"`
+	Nodes       int    `json:"nodes"`
+	Restarts    int    `json:"restarts"`
+	DedupHits   int64  `json:"dedup_hits,omitempty"`
+	DedupMisses int64  `json:"dedup_misses,omitempty"`
+	Verified    *bool  `json:"verified,omitempty"`
+}
+
+// view snapshots the job for JSON rendering.
+func (j *Job) view(deduplicated bool) JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:           j.id,
+		Status:       string(j.status),
+		Class:        j.class.String(),
+		Deduplicated: deduplicated,
+		Clamped:      j.clamps,
+		Note:         j.note,
+		Resumed:      j.resumed,
+		SubmittedAt:  j.submitted,
+		Error:        j.errMsg,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.FinishedAt = &t
+	}
+	if j.status == StatusDone || j.status == StatusFailed {
+		r := &ResultView{
+			Found:       j.res.Found,
+			Stop:        j.res.StopReason.String(),
+			Steps:       j.res.Steps,
+			Nodes:       j.res.Nodes,
+			Restarts:    j.res.Restarts,
+			DedupHits:   j.res.DedupHits,
+			DedupMisses: j.res.DedupMisses,
+			Verified:    j.verified,
+		}
+		if j.res.Found && j.res.Circuit != nil {
+			r.Circuit = j.res.Circuit.String()
+			r.Gates = j.res.Circuit.Len()
+			r.QuantumCost = j.res.Circuit.QuantumCost()
+		}
+		v.Result = r
+	}
+	return v
+}

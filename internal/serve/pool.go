@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+)
+
+// worker is one pool goroutine: dequeue, execute, repeat until drain.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		j, ok := s.queue.Dequeue()
+		if !ok {
+			return
+		}
+		s.execute(j)
+	}
+}
+
+// execute runs one job to a terminal state. The per-job deadline is
+// enforced twice: the engine's own TimeLimit stops the search with
+// StopDeadline, and a slightly larger context deadline backstops it (and
+// any injected test runner) so a wedged run cannot hold the worker past its
+// budget. Panics from the runner seam are isolated into a failed job, never
+// a dead worker.
+func (s *Server) execute(j *Job) {
+	s.running.Add(1)
+	defer s.running.Add(-1)
+	j.markRunning(time.Now())
+
+	ctx := s.drainCtx
+	if tl := j.opts.TimeLimit; tl > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, tl+5*time.Second)
+		defer cancel()
+	}
+
+	res := s.invoke(ctx, j)
+
+	// A drain cancellation is not a terminal outcome: when the stop is
+	// resumable and a checkpoint directory is configured, the engine has
+	// already flushed the final snapshot — park the job for the ledger.
+	if s.draining.Load() && res.Err == nil && res.StopReason == core.StopCanceled && s.cfg.StateDir != "" {
+		s.stats.interrupted.Add(1)
+		j.mu.Lock()
+		j.status = StatusInterrupted
+		j.res = res
+		j.mu.Unlock()
+		select {
+		case <-j.done:
+		default:
+			close(j.done)
+		}
+		return
+	}
+
+	if res.Err != nil {
+		s.stats.failed.Add(1)
+		j.finish(StatusFailed, res, nil, res.Err.Error(), time.Now())
+		s.removeCheckpoint(j)
+		return
+	}
+
+	// Verify found circuits against the tabulated function when feasible;
+	// a verification failure is an engine bug surfaced as a failed job, not
+	// a wrong answer handed to the client.
+	var verified *bool
+	if res.Found && res.Circuit != nil && j.fperm != nil && j.spec.N <= 22 {
+		v := true
+		if err := core.Verify(res.Circuit, j.fperm); err != nil {
+			s.stats.failed.Add(1)
+			j.finish(StatusFailed, res, &v, fmt.Sprintf("verification failed: %v", err), time.Now())
+			s.removeCheckpoint(j)
+			return
+		}
+		verified = &v
+	}
+	s.stats.completed.Add(1)
+	j.finish(StatusDone, res, verified, "", time.Now())
+	s.removeCheckpoint(j)
+}
+
+// invoke runs the configured runner (the real engine by default) with
+// panic isolation.
+func (s *Server) invoke(ctx context.Context, j *Job) (res core.Result) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = core.Result{
+				StopReason: core.StopInternalError,
+				Err:        fmt.Errorf("serve: job runner panicked: %v", r),
+			}
+		}
+	}()
+	if s.cfg.Runner != nil {
+		return s.cfg.Runner(ctx, j)
+	}
+	return s.realRun(ctx, j)
+}
+
+// realRun executes the job on the RMRLS engine: checkpointing into the
+// state directory when one is configured, resuming from a recovered drain
+// checkpoint when present, and degrading a broken checkpoint to a fresh
+// start (the resume contract: every resume error means "start fresh").
+func (s *Server) realRun(ctx context.Context, j *Job) core.Result {
+	opts := j.opts
+	opts.Observe = j.run
+	if s.cfg.StateDir != "" {
+		opts.Checkpoint = core.Checkpoint{
+			Path:       s.checkpointPath(j),
+			Interval:   s.cfg.CheckpointInterval,
+			EverySteps: s.cfg.CheckpointEverySteps,
+			FS:         s.cfg.FS,
+		}
+	}
+	if st := j.resume; st != nil {
+		j.resume = nil
+		res, err := core.ResumeStateContext(ctx, j.spec, opts, st)
+		if err == nil {
+			j.mu.Lock()
+			j.resumed = true
+			j.mu.Unlock()
+			return res
+		}
+		j.mu.Lock()
+		j.note = fmt.Sprintf("checkpoint unusable (%v); restarted fresh", err)
+		j.mu.Unlock()
+	}
+	return core.SynthesizeContext(ctx, j.spec, opts)
+}

@@ -1,0 +1,34 @@
+// Package serve wraps the RMRLS engine in the robustness machinery of a
+// network synthesis service — the layer cmd/rmrlsd is a thin shell around.
+//
+// The design goals, in priority order, are the ones a synthesis service
+// breaks first under load:
+//
+//   - Bounded everything. The job queue has a per-class capacity and sheds
+//     with 429 + Retry-After when full; every request's budgets (time,
+//     steps, memory, gates) are clamped against server-wide ceilings
+//     (core.BudgetCeiling) so no single request can starve the worker pool;
+//     request bodies are size-capped before they are parsed.
+//   - Validate before enqueue. A malformed permutation, truth table, or
+//     PPRM expansion is rejected with a field- and line-precise 400 at
+//     submit time, never after it has consumed a queue slot.
+//   - Idempotent retries. Every job is keyed by a hash of its compiled
+//     specification, decision-shaping options, budgets, and class; a client
+//     retry (or two clients asking for the same function) joins the
+//     existing job instead of running it twice.
+//   - Survive crashes and restarts. Graceful drain stops intake, cancels
+//     in-flight searches so they flush a final checkpoint through
+//     internal/snapshot, and persists a ledger of unfinished jobs; the next
+//     start re-enqueues them, resuming checkpointed searches exactly where
+//     they stopped (byte-identical results, courtesy of the core resume
+//     determinism machinery). Damage anywhere degrades to a fresh run,
+//     never a failed start.
+//   - Observable per job. Each job owns an obs.Run; clients stream its
+//     progress snapshots as JSON lines while the search runs.
+//
+// The worker pool runs core.SynthesizeContext with panic isolation (core
+// already converts internal panics into error-carrying Results; the pool
+// adds a second recover around the pluggable runner seam) and per-job
+// deadlines enforced both by the engine's own TimeLimit and by a context
+// deadline, so even a misbehaving runner cannot wedge a worker forever.
+package serve

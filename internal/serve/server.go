@@ -1,0 +1,419 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/snapshot"
+)
+
+// Config configures a Server. The zero value is usable: New fills every
+// unset field with the documented default.
+type Config struct {
+	// Workers is the fixed worker-pool size (default 2). Each worker runs
+	// one synthesis at a time; host memory budget ≈ Workers × Ceiling.MaxMemory.
+	Workers int
+	// QueueInteractive and QueueBatch cap the per-class job queues
+	// (defaults 64 and 256). A full class sheds with 429 + Retry-After.
+	QueueInteractive int
+	QueueBatch       int
+	// Ceiling clamps every request's budgets. Defaults: 60 s, 512 MiB;
+	// steps and gates unlimited.
+	Ceiling core.BudgetCeiling
+	// StateDir, when non-empty, enables graceful drain: in-flight searches
+	// checkpoint into it and unfinished jobs persist in a ledger that the
+	// next start recovers. Empty disables drain persistence (jobs are
+	// simply canceled).
+	StateDir string
+	// CheckpointInterval is the periodic checkpoint cadence for running
+	// jobs (default 30 s); the drain flush happens regardless.
+	CheckpointInterval time.Duration
+	// CheckpointEverySteps switches running jobs to a deterministic
+	// every-N-expansions checkpoint cadence (tests).
+	CheckpointEverySteps int
+	// RetryAfter is the base client back-off hint on shed and drain
+	// responses (default 1 s); the hint grows with queue depth.
+	RetryAfter time.Duration
+	// FS overrides the filesystem checkpoint and ledger writes go through;
+	// nil selects the real disk. The fault-injection tests crash it.
+	FS snapshot.FS
+	// Runner overrides how a job is executed — the test seam for overload
+	// and scheduling tests. nil selects the real engine (realRun).
+	Runner func(ctx context.Context, j *Job) core.Result
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Workers <= 0 {
+		out.Workers = 2
+	}
+	if out.QueueInteractive <= 0 {
+		out.QueueInteractive = 64
+	}
+	if out.QueueBatch <= 0 {
+		out.QueueBatch = 256
+	}
+	if out.Ceiling.MaxTime <= 0 {
+		out.Ceiling.MaxTime = time.Minute
+	}
+	if out.Ceiling.MaxMemory <= 0 {
+		out.Ceiling.MaxMemory = 512 << 20
+	}
+	if out.CheckpointInterval <= 0 {
+		out.CheckpointInterval = 30 * time.Second
+	}
+	if out.RetryAfter <= 0 {
+		out.RetryAfter = time.Second
+	}
+	if out.FS == nil {
+		out.FS = snapshot.DiskFS
+	}
+	return out
+}
+
+// Stats are the server's monotonic counters, exposed on /v1/healthz.
+type Stats struct {
+	Submitted    int64 `json:"submitted"`
+	Deduplicated int64 `json:"deduplicated"`
+	Shed         int64 `json:"shed"`
+	Completed    int64 `json:"completed"`
+	Failed       int64 `json:"failed"`
+	Interrupted  int64 `json:"interrupted"`
+	Recovered    int64 `json:"recovered"`
+}
+
+// Server is the synthesis service: bounded queue, worker pool, job
+// registry, drain machinery. Create with New, start workers with Start,
+// mount Handler on an http.Server, stop with Drain.
+type Server struct {
+	cfg   Config
+	queue *jobQueue
+
+	mu    sync.Mutex
+	jobs  map[string]*Job // by ID (= idempotency key hex)
+	byKey map[uint64]*Job
+
+	running atomic.Int64
+	stats   struct {
+		submitted, deduped, shed, completed, failed, interrupted, recovered atomic.Int64
+	}
+
+	draining  atomic.Bool
+	drainCtx  context.Context
+	drainStop context.CancelFunc
+	wg        sync.WaitGroup
+
+	// warnings collected during recovery (unreadable ledger entries, ...).
+	recoveryNotes []string
+}
+
+func jobID(key uint64) string { return fmt.Sprintf("%016x", key) }
+
+// New builds a Server and, when cfg.StateDir is set, recovers the previous
+// process's unfinished jobs from its drain ledger. Recovery never fails the
+// start: damaged ledgers or checkpoints degrade to fewer recovered jobs or
+// fresh re-runs, reported in RecoveryNotes.
+func New(cfg Config) (*Server, error) {
+	c := cfg.withDefaults()
+	s := &Server{
+		cfg:   c,
+		queue: newJobQueue(c.QueueInteractive, c.QueueBatch),
+		jobs:  make(map[string]*Job),
+		byKey: make(map[uint64]*Job),
+	}
+	s.drainCtx, s.drainStop = context.WithCancel(context.Background())
+	if c.StateDir != "" {
+		if err := s.recover(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Start launches the worker pool.
+func (s *Server) Start() {
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+}
+
+// RecoveryNotes reports what the start-time ledger recovery skipped or
+// degraded (empty on a clean start).
+func (s *Server) RecoveryNotes() []string { return append([]string(nil), s.recoveryNotes...) }
+
+// Stats returns a snapshot of the server counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Submitted:    s.stats.submitted.Load(),
+		Deduplicated: s.stats.deduped.Load(),
+		Shed:         s.stats.shed.Load(),
+		Completed:    s.stats.completed.Load(),
+		Failed:       s.stats.failed.Load(),
+		Interrupted:  s.stats.interrupted.Load(),
+		Recovered:    s.stats.recovered.Load(),
+	}
+}
+
+// job looks up a job by ID.
+func (s *Server) job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// admit registers and enqueues a compiled request, deduplicating by
+// idempotency key. Returns the job and whether it was deduplicated.
+func (s *Server) admit(c *compiled, req Request) (*Job, bool, error) {
+	s.mu.Lock()
+	if existing, ok := s.byKey[c.key]; ok && existing.Status() != StatusFailed {
+		s.mu.Unlock()
+		s.stats.deduped.Add(1)
+		return existing, true, nil
+	}
+	j := newJob(c, req, time.Now())
+	s.jobs[j.id] = j
+	s.byKey[j.key] = j
+	s.mu.Unlock()
+
+	if err := s.queue.Enqueue(j); err != nil {
+		s.mu.Lock()
+		delete(s.jobs, j.id)
+		delete(s.byKey, j.key)
+		s.mu.Unlock()
+		return nil, false, err
+	}
+	s.stats.submitted.Add(1)
+	return j, false, nil
+}
+
+// retryAfter computes the client back-off hint: the base grows with how
+// many dequeues stand between the client and a free worker.
+func (s *Server) retryAfter(class Class) time.Duration {
+	qi, qb := s.queue.Depths()
+	depth := qi
+	if class == Batch {
+		depth += qb // batch waits behind every interactive job too
+	}
+	waves := 1 + depth/s.cfg.Workers
+	return time.Duration(waves) * s.cfg.RetryAfter
+}
+
+// --- HTTP layer ---
+
+// maxRequestBody caps the submit body size (PLA and PPRM texts included).
+const maxRequestBody = 8 << 20
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error RequestError `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, field, format string, args ...any) {
+	writeJSON(w, code, errorBody{Error: *reqErr(field, format, args...)})
+}
+
+func setRetryAfter(w http.ResponseWriter, d time.Duration) {
+	secs := int(d.Round(time.Second) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+}
+
+// Handler returns the service's HTTP mux:
+//
+//	POST /v1/jobs           submit (idempotent; ?wait or "wait":true blocks)
+//	GET  /v1/jobs/{id}      job status and result
+//	GET  /v1/jobs/{id}/stream  JSON-lines progress until the job finishes
+//	GET  /v1/healthz        liveness, queue depths, counters
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealth)
+	return mux
+}
+
+// httpStatusFor maps a finished job to the sync-path HTTP status: the typed
+// StopReason decides. Solved-with-circuit is 200; a search that ran out of
+// budget without a circuit is 422 (the request was valid, the budget was
+// not enough); an internal abort is 500.
+func httpStatusFor(j *Job) int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.status {
+	case StatusFailed:
+		return http.StatusInternalServerError
+	case StatusDone:
+		if j.res.Found {
+			return http.StatusOK
+		}
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusOK
+	}
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		setRetryAfter(w, s.cfg.RetryAfter)
+		writeError(w, http.StatusServiceUnavailable, "", "server is draining; retry against the restarted instance")
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req Request
+	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "body", "request body exceeds %d bytes", int64(maxRequestBody))
+			return
+		}
+		writeError(w, http.StatusBadRequest, "body", "invalid JSON: %v", err)
+		return
+	}
+	if r.URL.Query().Get("wait") != "" {
+		req.Wait = true
+	}
+
+	c, rerr := compileRequest(&req, s.cfg.Ceiling)
+	if rerr != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: *rerr})
+		return
+	}
+
+	j, deduped, err := s.admit(c, req)
+	if err != nil {
+		var full *FullError
+		switch {
+		case errors.As(err, &full):
+			s.stats.shed.Add(1)
+			setRetryAfter(w, s.retryAfter(full.Class))
+			writeError(w, http.StatusTooManyRequests, "", "%s queue is full (%d jobs); retry later", full.Class, full.Cap)
+		default: // closed by a concurrent drain
+			setRetryAfter(w, s.cfg.RetryAfter)
+			writeError(w, http.StatusServiceUnavailable, "", "server is draining; retry against the restarted instance")
+		}
+		return
+	}
+
+	if !req.Wait {
+		writeJSON(w, http.StatusAccepted, j.view(deduped))
+		return
+	}
+	select {
+	case <-j.Done():
+	case <-r.Context().Done():
+		// Client gave up; the job keeps running (it is idempotent to re-ask).
+		writeJSON(w, http.StatusAccepted, j.view(deduped))
+		return
+	}
+	if j.Status() == StatusInterrupted {
+		// A drain caught the job mid-run; it will resume after restart.
+		setRetryAfter(w, s.cfg.RetryAfter)
+		writeJSON(w, http.StatusServiceUnavailable, j.view(deduped))
+		return
+	}
+	writeJSON(w, httpStatusFor(j), j.view(deduped))
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "id", "no such job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.view(false))
+}
+
+// streamInterval is the progress-snapshot cadence of the stream endpoint.
+const streamInterval = 250 * time.Millisecond
+
+// handleStream writes JSON-lines progress for one job: one obs snapshot
+// object per interval while the job runs, then a final {"job": ...} line.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "id", "no such job %q", r.PathValue("id"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	emit := func() bool {
+		snap := j.Run().Snapshot(time.Now())
+		if err := enc.Encode(&snap); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+	ticker := time.NewTicker(streamInterval)
+	defer ticker.Stop()
+	for {
+		if !emit() {
+			return
+		}
+		select {
+		case <-j.Done():
+			emit()
+			enc.Encode(map[string]JobView{"job": j.view(false)})
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return
+		case <-r.Context().Done():
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+// healthView is the /v1/healthz body.
+type healthView struct {
+	Status            string `json:"status"` // "ok" or "draining"
+	Workers           int    `json:"workers"`
+	Running           int64  `json:"running"`
+	QueuedInteractive int    `json:"queued_interactive"`
+	QueuedBatch       int    `json:"queued_batch"`
+	Stats             Stats  `json:"stats"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	qi, qb := s.queue.Depths()
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, healthView{
+		Status:            status,
+		Workers:           s.cfg.Workers,
+		Running:           s.running.Load(),
+		QueuedInteractive: qi,
+		QueuedBatch:       qb,
+		Stats:             s.Stats(),
+	})
+}

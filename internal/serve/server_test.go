@@ -1,0 +1,334 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// startTestServer builds and starts a Server plus an httptest front end.
+// Cleanup drains with a short deadline so worker goroutines never leak into
+// other tests.
+func startTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Drain(ctx)
+	})
+	return s, ts
+}
+
+func postJSON(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp, data
+}
+
+func TestSubmitWaitSolvesAndVerifies(t *testing.T) {
+	_, ts := startTestServer(t, Config{Workers: 2})
+
+	resp, body := postJSON(t, ts.URL+"/v1/jobs?wait=1",
+		`{"spec":{"bench":"rd32"},"budget":{"time_ms":30000}}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200; body: %s", resp.StatusCode, body)
+	}
+	var v JobView
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if v.Status != string(StatusDone) {
+		t.Errorf("status = %q, want done", v.Status)
+	}
+	if v.Result == nil || !v.Result.Found {
+		t.Fatalf("result missing or not found: %+v", v.Result)
+	}
+	if v.Result.Verified == nil || !*v.Result.Verified {
+		t.Errorf("verified = %v, want true", v.Result.Verified)
+	}
+	if v.Result.Gates <= 0 || v.Result.Circuit == "" {
+		t.Errorf("degenerate circuit: gates=%d circuit=%q", v.Result.Gates, v.Result.Circuit)
+	}
+}
+
+func TestSubmitValidationErrors(t *testing.T) {
+	_, ts := startTestServer(t, Config{Workers: 1})
+
+	cases := []struct {
+		name      string
+		body      string
+		wantCode  int
+		wantField string
+		wantMsg   string // substring
+	}{
+		{"no spec", `{"spec":{}}`, 400, "spec", "exactly one of"},
+		{"two specs", `{"spec":{"bench":"rd53","perm":"{1, 0}"}}`, 400, "spec", "exactly one of"},
+		{"unknown bench", `{"spec":{"bench":"nope"}}`, 400, "spec.bench", "unknown benchmark"},
+		{"bad perm", `{"spec":{"perm":"{0, 0, 1, 1}"}}`, 400, "spec.perm", ""},
+		{"bad class", `{"spec":{"bench":"rd53"},"class":"turbo"}`, 400, "class", "unknown class"},
+		{"negative budget", `{"spec":{"bench":"rd53"},"budget":{"time_ms":-5}}`, 400, "budget.time_ms", "non-negative"},
+		{"unknown field", `{"spec":{"bench":"rd53"},"bogus":1}`, 400, "body", "unknown field"},
+		{"bad json", `{"spec":`, 400, "body", "invalid JSON"},
+		// The text formats reuse the parsers' line-precise diagnostics.
+		{"pprm parse error", `{"spec":{"pprm":{"vars":3,"text":"a' = a\nb' = b\nwhat?!\n"}}}`,
+			400, "spec.pprm.text", "line 3"},
+		{"pprm vars range", `{"spec":{"pprm":{"vars":99,"text":"a' = a\n"}}}`,
+			400, "spec.pprm.vars", "between 1 and"},
+		{"pprm irreversible", `{"spec":{"pprm":{"vars":2,"text":"a' = a\nb' = a\n"}}}`,
+			400, "spec.pprm.text", "reversible"},
+		{"pla parse error", `{"spec":{"pla":".i 2\n.o 1\nxx 1\n"}}`,
+			400, "spec.pla", "line"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := postJSON(t, ts.URL+"/v1/jobs", tc.body)
+			if resp.StatusCode != tc.wantCode {
+				t.Fatalf("status = %d, want %d; body: %s", resp.StatusCode, tc.wantCode, body)
+			}
+			var eb errorBody
+			if err := json.Unmarshal(body, &eb); err != nil {
+				t.Fatalf("unmarshal error body: %v (%s)", err, body)
+			}
+			if eb.Error.Field != tc.wantField {
+				t.Errorf("field = %q, want %q (message: %s)", eb.Error.Field, tc.wantField, eb.Error.Message)
+			}
+			if tc.wantMsg != "" && !strings.Contains(eb.Error.Message, tc.wantMsg) {
+				t.Errorf("message %q missing %q", eb.Error.Message, tc.wantMsg)
+			}
+		})
+	}
+}
+
+func TestIdempotencyKeyDedup(t *testing.T) {
+	_, ts := startTestServer(t, Config{Workers: 2})
+
+	submit := func(body string) JobView {
+		t.Helper()
+		resp, data := postJSON(t, ts.URL+"/v1/jobs?wait=1", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d; body: %s", resp.StatusCode, data)
+		}
+		var v JobView
+		if err := json.Unmarshal(data, &v); err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		return v
+	}
+
+	a := submit(`{"spec":{"bench":"rd32"},"budget":{"steps":30000}}`)
+	b := submit(`{"spec":{"bench":"rd32"},"budget":{"steps":30000}}`)
+	if a.ID != b.ID {
+		t.Errorf("identical requests got different jobs: %s vs %s", a.ID, b.ID)
+	}
+	if !b.Deduplicated {
+		t.Errorf("retry not marked deduplicated")
+	}
+	if a.Deduplicated {
+		t.Errorf("first submission marked deduplicated")
+	}
+
+	// A different budget is a different job: it can find a different circuit.
+	c := submit(`{"spec":{"bench":"rd32"},"budget":{"steps":40000}}`)
+	if c.ID == a.ID {
+		t.Errorf("different budgets share a job ID %s", a.ID)
+	}
+	// So is a different class: it schedules differently.
+	d := submit(`{"spec":{"bench":"rd32"},"budget":{"steps":30000},"class":"batch"}`)
+	if d.ID == a.ID {
+		t.Errorf("different classes share a job ID %s", a.ID)
+	}
+}
+
+func TestBudgetExhaustedWithoutCircuitIs422(t *testing.T) {
+	_, ts := startTestServer(t, Config{Workers: 1})
+
+	// hwb8 cannot be solved in 50 steps; the request is valid but the
+	// budget is not enough — that is a 422, not a 4xx-validation or 5xx.
+	resp, body := postJSON(t, ts.URL+"/v1/jobs?wait=1",
+		`{"spec":{"bench":"hwb8"},"budget":{"steps":50}}`)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d, want 422; body: %s", resp.StatusCode, body)
+	}
+	var v JobView
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if v.Result == nil || v.Result.Found {
+		t.Fatalf("expected a not-found result, got %+v", v.Result)
+	}
+	if v.Result.Stop != core.StopStepLimit.String() {
+		t.Errorf("stop = %q, want %q", v.Result.Stop, core.StopStepLimit)
+	}
+}
+
+func TestBudgetClampReported(t *testing.T) {
+	_, ts := startTestServer(t, Config{
+		Workers: 1,
+		Ceiling: core.BudgetCeiling{MaxTime: time.Second, MaxSteps: 10000, MaxMemory: 64 << 20},
+	})
+	resp, body := postJSON(t, ts.URL+"/v1/jobs?wait=1",
+		`{"spec":{"bench":"rd32"},"budget":{"time_ms":60000,"steps":999999}}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d; body: %s", resp.StatusCode, body)
+	}
+	var v JobView
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(v.Clamped) != 3 { // time cut, steps cut, memory defaulted
+		t.Errorf("clamps = %v, want 3 entries", v.Clamped)
+	}
+	joined := strings.Join(v.Clamped, "; ")
+	for _, want := range []string{"time", "steps", "memory"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("clamps %q missing %q", joined, want)
+		}
+	}
+}
+
+func TestJobGetAndNotFound(t *testing.T) {
+	_, ts := startTestServer(t, Config{Workers: 1})
+
+	_, body := postJSON(t, ts.URL+"/v1/jobs?wait=1", `{"spec":{"bench":"rd32"}}`)
+	var v JobView
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	resp, data := getURL(t, ts.URL+"/v1/jobs/"+v.ID)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET job = %d; body: %s", resp.StatusCode, data)
+	}
+	var got JobView
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if got.ID != v.ID || got.Status != string(StatusDone) {
+		t.Errorf("GET returned %s/%s, want %s/done", got.ID, got.Status, v.ID)
+	}
+
+	resp, _ = getURL(t, ts.URL+"/v1/jobs/doesnotexist")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("missing job = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestStreamEndpointEmitsProgressAndFinalJob(t *testing.T) {
+	_, ts := startTestServer(t, Config{Workers: 1})
+
+	// Async submit, then stream until the final {"job": ...} line.
+	resp, body := postJSON(t, ts.URL+"/v1/jobs", `{"spec":{"bench":"rd53"},"budget":{"time_ms":30000}}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d; body: %s", resp.StatusCode, body)
+	}
+	var v JobView
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+
+	sresp, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/stream")
+	if err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	defer sresp.Body.Close()
+	if ct := sresp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content-type = %q", ct)
+	}
+	sc := bufio.NewScanner(sresp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lines := 0
+	var final struct {
+		Job *JobView `json:"job"`
+	}
+	for sc.Scan() {
+		lines++
+		if strings.Contains(sc.Text(), `"job"`) {
+			if err := json.Unmarshal(sc.Bytes(), &final); err != nil {
+				t.Fatalf("final line: %v (%s)", err, sc.Text())
+			}
+			break
+		}
+		var snap map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &snap); err != nil {
+			t.Fatalf("progress line %d: %v (%s)", lines, err, sc.Text())
+		}
+		if _, ok := snap["steps"]; !ok {
+			t.Errorf("progress line missing steps: %s", sc.Text())
+		}
+	}
+	if lines < 2 {
+		t.Errorf("stream produced %d lines, want at least a snapshot and the final job", lines)
+	}
+	if final.Job == nil || final.Job.Status != string(StatusDone) {
+		t.Errorf("final job line = %+v, want done", final.Job)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	s, ts := startTestServer(t, Config{Workers: 3})
+
+	postJSON(t, ts.URL+"/v1/jobs?wait=1", `{"spec":{"bench":"rd32"}}`)
+	resp, body := getURL(t, ts.URL+"/v1/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+	var h healthView
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if h.Status != "ok" || h.Workers != 3 {
+		t.Errorf("health = %+v", h)
+	}
+	if h.Stats.Submitted != 1 || h.Stats.Completed != 1 {
+		t.Errorf("stats = %+v, want submitted=1 completed=1", h.Stats)
+	}
+	if got := s.Stats(); got != h.Stats {
+		t.Errorf("Stats() = %+v != healthz %+v", got, h.Stats)
+	}
+}
+
+func TestOversizedBodyIs413(t *testing.T) {
+	_, ts := startTestServer(t, Config{Workers: 1})
+	big := fmt.Sprintf(`{"spec":{"pla":"%s"}}`, strings.Repeat("x", maxRequestBody+1))
+	resp, _ := postJSON(t, ts.URL+"/v1/jobs", big)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("status = %d, want 413", resp.StatusCode)
+	}
+}
+
+func getURL(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp, data
+}
