@@ -14,8 +14,16 @@
 // -bench substitutes a named paper benchmark instead. 429/503 responses
 // are retried up to -retries times honoring Retry-After; a request still
 // shed after its retry budget is counted (that is the point of an overload
-// probe), not an error. Exit status: 0 on success, 1 if any request
-// errored or -expect-shed saw no shedding.
+// probe), not an error.
+//
+// Every solved response is independently re-checked client-side: the
+// returned cascade is parsed, re-simulated, and compared against the
+// requested function, and the reported gate count is compared against the
+// parsed circuit — a differential check of the server's whole pipeline
+// (including serialization) that shares no state with the server's own
+// verification gate. Exit status: 0 on success, 1 if any request errored,
+// any response failed the client-side check, or -expect-shed saw no
+// shedding.
 package main
 
 import (
@@ -32,8 +40,11 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/bench"
+	"repro/internal/circuit"
 	"repro/internal/perm"
 	"repro/internal/rng"
+	"repro/internal/verify"
 )
 
 type request struct {
@@ -58,9 +69,10 @@ type jobReply struct {
 	ID     string `json:"id"`
 	Status string `json:"status"`
 	Result *struct {
-		Found bool   `json:"found"`
-		Stop  string `json:"stop"`
-		Gates int    `json:"gates"`
+		Found   bool   `json:"found"`
+		Stop    string `json:"stop"`
+		Circuit string `json:"circuit"`
+		Gates   int    `json:"gates"`
 	} `json:"result"`
 	Error struct {
 		Field   string `json:"field"`
@@ -74,7 +86,8 @@ type outcome int
 const (
 	outSolved outcome = iota
 	outNoCircuit
-	outShedOut // still shed after all retries
+	outShedOut    // still shed after all retries
+	outVerifyFail // 200 whose circuit failed the client-side re-check
 	outError
 	numOutcomes
 )
@@ -118,6 +131,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	type workItem struct {
 		body  []byte
 		class string
+		want  perm.Perm // expected function for the client-side re-check (nil = skip)
+		wires int
+	}
+	// A bench workload checks every response against the benchmark's own
+	// tabulated function; random workloads against the submitted permutation.
+	var benchWant perm.Perm
+	benchWires := 0
+	if *benchName != "" {
+		if b, err := bench.ByName(*benchName); err == nil {
+			benchWant, benchWires = b.Spec, b.Wires
+		}
 	}
 	src := rng.New(*seed)
 	work := make([]workItem, *n)
@@ -126,17 +150,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if i < int(float64(*n)**batchFrac) {
 			req.Class = "batch"
 		}
+		item := workItem{want: benchWant, wires: benchWires}
 		if *benchName != "" {
 			req.Spec.Bench = *benchName
 		} else {
-			req.Spec.Perm = perm.Random(*vars, src).String()
+			p := perm.Random(*vars, src)
+			req.Spec.Perm = p.String()
+			item.want, item.wires = p, *vars
 		}
 		b, err := json.Marshal(&req)
 		if err != nil {
 			fmt.Fprintln(stderr, "loadgen:", err)
 			return 1
 		}
-		work[i] = workItem{body: b, class: req.Class}
+		item.body, item.class = b, req.Class
+		work[i] = item
 	}
 
 	url := "http://" + *addr + "/v1/jobs"
@@ -179,7 +207,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		go func() {
 			defer wg.Done()
 			for item := range next {
-				o, lat, sheds, retried := send(client, url, item.body, *retries, *backoff, stderr)
+				o, lat, sheds, retried := send(client, url, item.body, item.want, item.wires, *retries, *backoff, stderr)
 				record(item.class, o, lat, sheds, retried)
 			}
 		}()
@@ -206,8 +234,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 // send submits one request, retrying through 429/503 with the server's
 // Retry-After hint. Returns the outcome, end-to-end latency (including
 // retry waits — that is the latency the client experienced), the number of
-// 429s seen, and the number of retries spent.
-func send(client *http.Client, url string, body []byte, retries int, backoff time.Duration, stderr io.Writer) (outcome, time.Duration, int, int) {
+// 429s seen, and the number of retries spent. Solved responses are
+// re-verified client-side against want (when non-nil and tabulable).
+func send(client *http.Client, url string, body []byte, want perm.Perm, wires int, retries int, backoff time.Duration, stderr io.Writer) (outcome, time.Duration, int, int) {
 	start := time.Now()
 	sheds, retried := 0, 0
 	for attempt := 0; ; attempt++ {
@@ -227,6 +256,9 @@ func send(client *http.Client, url string, body []byte, retries int, backoff tim
 				return outError, time.Since(start), sheds, retried
 			}
 			if jr.Result != nil && jr.Result.Found {
+				if want != nil && verify.Feasible(wires) && !verifyReply(&jr, want, wires, stderr) {
+					return outVerifyFail, time.Since(start), sheds, retried
+				}
 				return outSolved, time.Since(start), sheds, retried
 			}
 			return outNoCircuit, time.Since(start), sheds, retried
@@ -247,6 +279,42 @@ func send(client *http.Client, url string, body []byte, retries int, backoff tim
 			return outError, time.Since(start), sheds, retried
 		}
 	}
+}
+
+// verifyReply re-simulates the returned cascade and checks it realizes the
+// requested function, and that the reported gate count matches the parsed
+// circuit. This is the client half of the differential check: it consumes
+// only what came over the wire, so a serialization bug, a wrong-but-
+// "verified" server answer, or a gate-count lie all surface here.
+func verifyReply(jr *jobReply, want perm.Perm, wires int, stderr io.Writer) bool {
+	var c *circuit.Circuit
+	if jr.Result.Gates == 0 {
+		// The empty cascade renders as "(identity)", which the parser
+		// (by design) does not accept; it realizes the identity.
+		c = circuit.New(wires)
+	} else {
+		var err error
+		c, err = circuit.Parse(wires, jr.Result.Circuit)
+		if err != nil {
+			fmt.Fprintf(stderr, "loadgen: job %s: unparseable circuit %q: %v\n", jr.ID, jr.Result.Circuit, err)
+			return false
+		}
+	}
+	if c.Len() != jr.Result.Gates {
+		fmt.Fprintf(stderr, "loadgen: job %s: reported gates=%d but returned circuit has %d\n",
+			jr.ID, jr.Result.Gates, c.Len())
+		return false
+	}
+	got, verr := verify.Simulate(verify.StageClient, c)
+	if verr != nil {
+		fmt.Fprintf(stderr, "loadgen: job %s: %v\n", jr.ID, verr)
+		return false
+	}
+	if !got.Equal(want) {
+		fmt.Fprintf(stderr, "loadgen: job %s: returned circuit does not realize the requested function\n", jr.ID)
+		return false
+	}
+	return true
 }
 
 // retryDelay honors the server's Retry-After hint, falling back to the
@@ -277,7 +345,7 @@ func percentile(sorted []time.Duration, p float64) time.Duration {
 }
 
 // report prints the per-class summary and returns whether any request
-// ultimately failed (errors or shed-through-retries).
+// ultimately failed (errors or client-side verification failures).
 func report(w io.Writer, stats map[string]*classStats, elapsed time.Duration) bool {
 	failed := false
 	total := 0
@@ -292,16 +360,16 @@ func report(w io.Writer, stats map[string]*classStats, elapsed time.Duration) bo
 			continue
 		}
 		sort.Slice(st.latencies, func(i, j int) bool { return st.latencies[i] < st.latencies[j] })
-		fmt.Fprintf(w, "%-11s  sent=%-4d solved=%-4d nocircuit=%-3d shed=%-3d errors=%-3d retries=%-3d\n",
+		fmt.Fprintf(w, "%-11s  sent=%-4d solved=%-4d nocircuit=%-3d shed=%-3d verifyfail=%-3d errors=%-3d retries=%-3d\n",
 			class, sent, st.counts[outSolved], st.counts[outNoCircuit],
-			st.counts[outShedOut], st.counts[outError], st.retries)
+			st.counts[outShedOut], st.counts[outVerifyFail], st.counts[outError], st.retries)
 		if len(st.latencies) > 0 {
 			fmt.Fprintf(w, "%-11s  p50=%v p90=%v p99=%v\n", class,
 				percentile(st.latencies, 0.50).Round(time.Millisecond),
 				percentile(st.latencies, 0.90).Round(time.Millisecond),
 				percentile(st.latencies, 0.99).Round(time.Millisecond))
 		}
-		if st.counts[outError] > 0 {
+		if st.counts[outError] > 0 || st.counts[outVerifyFail] > 0 {
 			failed = true
 		}
 	}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// TestRunAgainstRealServer: a small random workload against a real rmrlsd
+// core must solve, pass the client-side re-check, and exit 0.
+func TestRunAgainstRealServer(t *testing.T) {
+	s, err := serve.New(serve.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Drain(ctx)
+	})
+
+	var out, errb bytes.Buffer
+	addr := strings.TrimPrefix(ts.URL, "http://")
+	code := run([]string{"-addr", addr, "-n", "4", "-c", "2", "-vars", "3"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if strings.Contains(out.String(), "verifyfail=1") {
+		t.Errorf("verification failures against a healthy server:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "verifyfail=0") {
+		t.Errorf("report does not include the verification column:\n%s", out.String())
+	}
+}
+
+// TestRunCatchesLyingServer: a stub that returns a solved response whose
+// gate count disagrees with the returned cascade must be caught by the
+// client-side re-check and fail the run.
+func TestRunCatchesLyingServer(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		// gates=2 but the cascade has one gate: an always-detectable lie,
+		// independent of which random function the client asked for.
+		w.Write([]byte(`{"id":"bogus","status":"done","result":{"found":true,"stop":"solved","circuit":"TOF1(a)","gates":2}}`))
+	}))
+	defer ts.Close()
+
+	var out, errb bytes.Buffer
+	addr := strings.TrimPrefix(ts.URL, "http://")
+	code := run([]string{"-addr", addr, "-n", "1", "-vars", "2"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(errb.String(), "reported gates=2") {
+		t.Errorf("stderr does not name the gate-count mismatch: %s", errb.String())
+	}
+	if !strings.Contains(out.String(), "verifyfail=1") {
+		t.Errorf("report does not count the verification failure:\n%s", out.String())
+	}
+}

@@ -39,12 +39,15 @@ import (
 	"repro/internal/bits"
 	"repro/internal/circuit"
 	"repro/internal/core"
+	"repro/internal/decomp"
 	"repro/internal/fredkin"
 	"repro/internal/mmd"
 	"repro/internal/obs"
+	"repro/internal/peephole"
 	"repro/internal/perm"
 	"repro/internal/pprm"
 	"repro/internal/tt"
+	"repro/internal/verify"
 )
 
 func main() {
@@ -90,6 +93,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		library   = fs.String("library", "gt", "gate library: gt or nct")
 		first     = fs.Bool("first", false, "stop at the first solution found")
 		simplify  = fs.Bool("simplify", false, "apply peephole simplification to the result")
+		peep      = fs.Bool("peephole", false, "apply the window-resynthesis peephole optimizer to the result")
+		lower     = fs.Bool("lower", false, "lower the result to the NCT library (ancilla-free Toffoli decomposition)")
+		noverify  = fs.Bool("noverify", false, "skip the independent result verification gate (not recommended)")
 		baseline  = fs.Bool("mmd", false, "also run the transformation-based baseline")
 		portfolio = fs.Bool("portfolio", false, "run the parallel search portfolio + tightening (slower, better circuits)")
 		ckptPath  = fs.String("checkpoint", "", "periodically save the search state to this file (crash-safe atomic writes)")
@@ -116,7 +122,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	spec, p, err := loadSpec(*benchName, *isPPRM, *isPLA, *vars, fs.Args())
+	spec, p, pla, err := loadSpec(*benchName, *isPPRM, *isPLA, *vars, fs.Args())
 	if err != nil {
 		fmt.Fprintln(stderr, "rmrls:", err)
 		return 1
@@ -126,6 +132,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if *basic {
 		opts = core.BasicOptions()
 	}
+	opts.SkipVerify = *noverify
 	opts.TimeLimit = *timeLimit
 	opts.TotalSteps = *steps
 	opts.MaxGates = *maxGates
@@ -228,6 +235,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	if res.Err != nil {
+		var verr *verify.Error
+		if errors.As(res.Err, &verr) {
+			// The engine's always-on gate withdrew the circuit: the search
+			// produced a cascade that does not realize the specification.
+			// This is an engine bug, not a property of the input — report
+			// the counterexample and the rejected cascade for triage.
+			fmt.Fprintln(stderr, "rmrls: VERIFICATION FAILED:", verr)
+			fmt.Fprintln(stderr, "rmrls: rejected cascade:", verr.Circuit)
+			return 3
+		}
 		fmt.Fprintln(stderr, "rmrls:", res.Err)
 		return 2
 	}
@@ -242,8 +259,54 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "rmrls: interrupted; printing best-so-far circuit\n")
 	}
 	c := res.Circuit
+	// Post-search transforms each re-verify through the independent oracle:
+	// a stage that breaks the realized permutation is named in the failure,
+	// so a miscompiling optimizer cannot silently ship a wrong circuit.
+	stageCheck := func(stage verify.Stage, before, after *circuit.Circuit) bool {
+		if opts.SkipVerify || !verify.Feasible(spec.N) {
+			return true
+		}
+		if err := verify.Transform(stage, before, after); err != nil {
+			fmt.Fprintln(stderr, "rmrls: VERIFICATION FAILED:", err)
+			return false
+		}
+		return true
+	}
 	if *simplify {
-		c = c.Simplify()
+		sc := c.Simplify()
+		if !stageCheck(verify.StageSimplify, c, sc) {
+			return 3
+		}
+		c = sc
+	}
+	if *peep {
+		pc := peephole.New().Optimize(c)
+		if !stageCheck(verify.StagePeephole, c, pc) {
+			return 3
+		}
+		c = pc
+	}
+	if *lower {
+		lc, err := decomp.DecomposeCircuit(c)
+		if err != nil {
+			fmt.Fprintln(stderr, "rmrls:", err)
+			return 2
+		}
+		if !stageCheck(verify.StageDecomp, c, lc) {
+			return 3
+		}
+		c = lc
+	}
+	// For embedded PLA inputs the permutation equivalence above is stricter
+	// than needed; what the user actually asked for is the partial table.
+	// Check the final cascade against it directly, care bits only.
+	plaOK := false
+	if pla != nil && !opts.SkipVerify && verify.Feasible(c.Wires) {
+		if err := verify.PLA(verify.StageEmbed, c, pla.emb, pla.pt); err != nil {
+			fmt.Fprintln(stderr, "rmrls: VERIFICATION FAILED:", err)
+			return 3
+		}
+		plaOK = true
 	}
 	fmt.Fprintln(stdout, c)
 	if !*quiet {
@@ -253,12 +316,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "# dedup: %d/%d duplicate states pruned (%.1f%% hit rate, %d evictions)\n",
 				res.DedupHits, probes, 100*float64(res.DedupHits)/float64(probes), res.DedupEvictions)
 		}
-		if p != nil && spec.N <= 22 {
-			if err := core.Verify(c, p); err != nil {
-				fmt.Fprintln(stderr, "rmrls: VERIFICATION FAILED:", err)
-				return 3
-			}
+		if res.Verified {
 			fmt.Fprintln(stdout, "# verified: circuit realizes the specification")
+		}
+		if plaOK {
+			fmt.Fprintln(stdout, "# verified: circuit matches the PLA on every care bit")
 		}
 	}
 
@@ -278,60 +340,70 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// loadSpec resolves the three input modes to a PPRM expansion (and, where
-// available, a permutation for verification).
-func loadSpec(benchName string, isPPRM, isPLA bool, vars int, args []string) (*pprm.Spec, perm.Perm, error) {
+// plaInput carries the parsed partial truth table and its reversible
+// embedding alongside the compiled spec, so the final cascade can be
+// checked against what the user actually wrote (care bits only) rather
+// than only against the stricter embedded permutation.
+type plaInput struct {
+	pt  *tt.PartialTable
+	emb *tt.Embedding
+}
+
+// loadSpec resolves the input modes to a PPRM expansion (and, where
+// available, a permutation for verification; for -pla also the original
+// partial table and embedding for the don't-care-aware check).
+func loadSpec(benchName string, isPPRM, isPLA bool, vars int, args []string) (*pprm.Spec, perm.Perm, *plaInput, error) {
 	if benchName != "" {
 		b, err := bench.ByName(benchName)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		spec, err := b.PPRMSpec()
-		return spec, b.Spec, err
+		return spec, b.Spec, nil, err
 	}
 	if len(args) != 1 {
-		return nil, nil, fmt.Errorf("expected exactly one specification argument (or -bench/-list)")
+		return nil, nil, nil, fmt.Errorf("expected exactly one specification argument (or -bench/-list)")
 	}
 	arg := args[0]
 	if isPLA {
 		text, err := os.ReadFile(arg)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		pt, err := tt.ParsePLAPartial(string(text))
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		emb, _, err := tt.EmbedPartial(pt, 16, 1)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		fmt.Fprintf(os.Stderr, "# embedded: %d wires, %d garbage outputs, %d constant inputs, %d don't-care bits assigned\n",
 			emb.Wires, emb.GarbageOutputs, emb.ConstantInputs, pt.DontCareBits())
 		p := perm.Perm(emb.Spec)
 		spec, err := pprm.FromPerm(p)
-		return spec, p, err
+		return spec, p, &plaInput{pt: pt, emb: emb}, err
 	}
 	if isPPRM {
 		if vars < 1 || vars > bits.MaxVars {
-			return nil, nil, fmt.Errorf("-pprm requires -n between 1 and %d", bits.MaxVars)
+			return nil, nil, nil, fmt.Errorf("-pprm requires -n between 1 and %d", bits.MaxVars)
 		}
 		text, err := os.ReadFile(arg)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		spec, err := pprm.Parse(vars, string(text))
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		if vars <= 22 {
 			p := spec.ToPerm()
 			if err := p.Validate(); err != nil {
-				return nil, nil, fmt.Errorf("PPRM does not describe a reversible function: %v", err)
+				return nil, nil, nil, fmt.Errorf("PPRM does not describe a reversible function: %v", err)
 			}
-			return spec, p, nil
+			return spec, p, nil, nil
 		}
-		return spec, nil, nil
+		return spec, nil, nil, nil
 	}
 	text := arg
 	if data, err := os.ReadFile(arg); err == nil {
@@ -339,10 +411,10 @@ func loadSpec(benchName string, isPPRM, isPLA bool, vars int, args []string) (*p
 	}
 	p, err := perm.Parse(text)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	spec, err := pprm.FromPerm(p)
-	return spec, p, err
+	return spec, p, nil, err
 }
 
 func printEvent(w io.Writer, e core.Event) {

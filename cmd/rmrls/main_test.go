@@ -11,11 +11,13 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/circuit"
+	"repro/internal/core"
 	"repro/internal/obs"
 )
 
 func TestLoadSpecPermLiteral(t *testing.T) {
-	spec, p, err := loadSpec("", false, false, 0, []string{"{1, 0, 7, 2, 3, 4, 5, 6}"})
+	spec, p, _, err := loadSpec("", false, false, 0, []string{"{1, 0, 7, 2, 3, 4, 5, 6}"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,14 +27,14 @@ func TestLoadSpecPermLiteral(t *testing.T) {
 }
 
 func TestLoadSpecBench(t *testing.T) {
-	spec, p, err := loadSpec("graycode6", false, false, 0, nil)
+	spec, p, _, err := loadSpec("graycode6", false, false, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if spec.N != 6 || p == nil {
 		t.Errorf("bench load broken: n=%d", spec.N)
 	}
-	if _, _, err := loadSpec("nonesuch", false, false, 0, nil); err == nil {
+	if _, _, _, err := loadSpec("nonesuch", false, false, 0, nil); err == nil {
 		t.Error("unknown benchmark should fail")
 	}
 }
@@ -43,7 +45,7 @@ func TestLoadSpecPPRMFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte("a' = a ^ 1\nb' = b ^ c ^ ac\nc' = b ^ ab ^ ac\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	spec, p, err := loadSpec("", true, false, 3, []string{path})
+	spec, p, _, err := loadSpec("", true, false, 3, []string{path})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +55,7 @@ func TestLoadSpecPPRMFile(t *testing.T) {
 	// Non-reversible PPRM must be rejected.
 	bad := filepath.Join(dir, "bad.pprm")
 	os.WriteFile(bad, []byte("a' = b\nb' = b\n"), 0o644)
-	if _, _, err := loadSpec("", true, false, 2, []string{bad}); err == nil {
+	if _, _, _, err := loadSpec("", true, false, 2, []string{bad}); err == nil {
 		t.Error("non-reversible PPRM should fail")
 	}
 }
@@ -62,20 +64,20 @@ func TestLoadSpecPermFile(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "spec.perm")
 	os.WriteFile(path, []byte("{1, 0, 3, 2}"), 0o644)
-	spec, _, err := loadSpec("", false, false, 0, []string{path})
+	spec, _, _, err := loadSpec("", false, false, 0, []string{path})
 	if err != nil || spec.N != 2 {
 		t.Errorf("perm file load broken: %v", err)
 	}
 }
 
 func TestLoadSpecErrors(t *testing.T) {
-	if _, _, err := loadSpec("", false, false, 0, nil); err == nil {
+	if _, _, _, err := loadSpec("", false, false, 0, nil); err == nil {
 		t.Error("missing argument should fail")
 	}
-	if _, _, err := loadSpec("", true, false, 0, []string{"x"}); err == nil {
+	if _, _, _, err := loadSpec("", true, false, 0, []string{"x"}); err == nil {
 		t.Error("pprm without -n should fail")
 	}
-	if _, _, err := loadSpec("", false, false, 0, []string{"{0, 0}"}); err == nil {
+	if _, _, _, err := loadSpec("", false, false, 0, []string{"{0, 0}"}); err == nil {
 		t.Error("invalid permutation should fail")
 	}
 }
@@ -306,11 +308,84 @@ func TestLoadSpecPLAFile(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "maj.pla")
 	os.WriteFile(path, []byte(".i 3\n.o 1\n111 1\n110 1\n101 1\n011 1\n000 0\n001 0\n010 0\n100 0\n.e\n"), 0o644)
-	spec, p, err := loadSpec("", false, true, 0, []string{path})
+	spec, p, pla, err := loadSpec("", false, true, 0, []string{path})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if spec.N != 3 || p == nil {
 		t.Errorf("PLA load: n=%d", spec.N)
+	}
+	if pla == nil || pla.pt == nil || pla.emb == nil {
+		t.Error("PLA load lost the partial table or embedding")
+	}
+}
+
+// TestRunInjectedMiscompileExitsThree: with the engine-side fault hook
+// corrupting every found circuit, the CLI must refuse to print a circuit
+// and exit 3 with the counterexample and the rejected cascade on stderr.
+func TestRunInjectedMiscompileExitsThree(t *testing.T) {
+	core.CorruptResultHook = func(c *circuit.Circuit) { c.Append(circuit.Gate{Target: 0}) }
+	defer func() { core.CorruptResultHook = nil }()
+
+	var out, errb bytes.Buffer
+	code := run(context.Background(), []string{"{1, 0, 3, 2}"}, &out, &errb)
+	if code != 3 {
+		t.Fatalf("exit code = %d, want 3; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "VERIFICATION FAILED") {
+		t.Errorf("stderr does not flag the verification failure: %s", errb.String())
+	}
+	if !strings.Contains(errb.String(), "rejected cascade:") {
+		t.Errorf("stderr does not carry the rejected cascade: %s", errb.String())
+	}
+	if strings.Contains(out.String(), "TOF") {
+		t.Errorf("a wrong circuit leaked to stdout:\n%s", out.String())
+	}
+}
+
+// TestRunNoVerifyOptsOut: -noverify disables the gate; the corrupted
+// circuit goes through (exit 0) but without any "# verified" claim.
+func TestRunNoVerifyOptsOut(t *testing.T) {
+	core.CorruptResultHook = func(c *circuit.Circuit) { c.Append(circuit.Gate{Target: 0}) }
+	defer func() { core.CorruptResultHook = nil }()
+
+	var out, errb bytes.Buffer
+	code := run(context.Background(), []string{"-noverify", "{1, 0, 3, 2}"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr: %s", code, errb.String())
+	}
+	if strings.Contains(out.String(), "# verified") {
+		t.Errorf("-noverify run still claims verification:\n%s", out.String())
+	}
+}
+
+// TestRunStagePipelineVerified: every post-search transform is re-checked
+// by the oracle; the run must still verify end to end.
+func TestRunStagePipelineVerified(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run(context.Background(),
+		[]string{"-simplify", "-peephole", "-lower", "{1, 0, 7, 2, 3, 4, 5, 6}"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "# verified: circuit realizes the specification") {
+		t.Errorf("pipeline output missing verification line:\n%s", out.String())
+	}
+}
+
+// TestRunPLAVerifiedAgainstCareBits: an embedded PLA run must check the
+// final cascade against the original partial table, not only the embedded
+// permutation, and say so.
+func TestRunPLAVerifiedAgainstCareBits(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "maj.pla")
+	os.WriteFile(path, []byte(".i 3\n.o 1\n111 1\n110 1\n101 1\n011 1\n000 0\n001 0\n010 0\n100 0\n.e\n"), 0o644)
+	var out, errb bytes.Buffer
+	code := run(context.Background(), []string{"-pla", "-time", "30s", path}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "matches the PLA on every care bit") {
+		t.Errorf("PLA run missing the don't-care-aware verification line:\n%s", out.String())
 	}
 }

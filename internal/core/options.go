@@ -159,6 +159,29 @@ type Options struct {
 	// searcher state; the zero value disables them. See the Checkpoint type
 	// and ResumeContext.
 	Checkpoint Checkpoint
+
+	// SkipVerify disables the always-on post-synthesis verification gate.
+	// By default every found circuit is re-simulated gate by gate by the
+	// independent internal/verify oracle against the input specification
+	// before the Result is returned (when the function is narrow enough to
+	// tabulate; see verify.MaxVars), and a mismatch turns the Result into a
+	// typed StopVerifyFailed failure instead of a wrong answer. The gate is
+	// post-hoc — it never changes the search trajectory — and is excluded
+	// from OptionsFingerprint, so toggling it neither invalidates
+	// checkpoints nor changes a job's identity. Set it only to benchmark
+	// the bare search loop.
+	SkipVerify bool
+}
+
+// Degraded returns a copy of o for the graceful-degradation re-run after a
+// verification failure: the optimizer layers able to corrupt a search-wide
+// result — currently the transposition table, which prunes paths based on
+// derived state — are disabled, while the verification gate itself stays
+// on. The point of the re-run is less machinery, not less checking.
+func (o Options) Degraded() Options {
+	o.Dedup = false
+	o.SkipVerify = false
+	return o
 }
 
 // Checkpoint configures durable snapshots of a running search. When Path is

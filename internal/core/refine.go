@@ -133,9 +133,15 @@ func SynthesizePortfolioContext(ctx context.Context, spec *pprm.Spec, opts Optio
 	best.DedupEvictions += refined.DedupEvictions
 	if refined.Found && refined.Circuit.Len() < best.Circuit.Len() {
 		best.Circuit = refined.Circuit
+		best.Verified = refined.Verified
 	}
 	if ctx.Err() != nil {
 		best.StopReason = StopCanceled
+	}
+	if best.Verified && opts.Observe != nil {
+		// Each variant verified through its own child Run; mark the parent
+		// aggregate for the circuit actually returned.
+		opts.Observe.SetVerified(true)
 	}
 	best.Elapsed = time.Since(start)
 	return finishObs(best)
@@ -167,6 +173,7 @@ func mergeResults(results []Result, canceled bool) Result {
 		if r.Found && (!merged.Found || betterCircuit(r, &merged)) {
 			merged.Found = true
 			merged.Circuit = r.Circuit
+			merged.Verified = r.Verified
 		}
 	}
 	switch {
@@ -234,6 +241,7 @@ func synthesizeTightening(ctx context.Context, spec *pprm.Spec, opts Options, ga
 		}
 		out.Found = true
 		out.Circuit = r.Circuit
+		out.Verified = r.Verified
 		bound = r.Circuit.Len()
 	}
 	return out
@@ -303,6 +311,7 @@ func SynthesizeIterativeContext(ctx context.Context, spec *pprm.Spec, opts Optio
 			break
 		}
 		best.Circuit = r.Circuit
+		best.Verified = r.Verified
 	}
 	return best
 }

@@ -499,7 +499,7 @@ func ResumeStateContext(ctx context.Context, spec *pprm.Spec, opts Options, st *
 		return Result{}, err
 	}
 	s.done = ctx.Done()
-	return s.run(), nil
+	return verifyGate(spec, &opts, s.run()), nil
 }
 
 // ResumePermContext is ResumeContext for a function given as a permutation.

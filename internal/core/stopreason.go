@@ -40,6 +40,13 @@ const (
 	// StopInternalError: an internal invariant panic (pprm, circuit) was
 	// recovered and converted into the Result's Err.
 	StopInternalError
+	// StopVerifyFailed: the search found a circuit but the independent
+	// post-synthesis verification gate (internal/verify) rejected it — the
+	// realized permutation does not match the specification. The Result's
+	// Err carries the typed *verify.Error diagnosis, including the rejected
+	// cascade and a counterexample input. Appended last so checkpointed and
+	// ledgered numeric values of the earlier reasons stay stable.
+	StopVerifyFailed
 )
 
 func (r StopReason) String() string {
@@ -62,6 +69,8 @@ func (r StopReason) String() string {
 		return "restarts-exhausted"
 	case StopInternalError:
 		return "internal-error"
+	case StopVerifyFailed:
+		return "verify-failed"
 	default:
 		return "unknown"
 	}

@@ -64,6 +64,14 @@ type Result struct {
 	// including the final flush on a resumable stop. Zero when
 	// Options.Checkpoint is unset.
 	Checkpoints int
+	// Verified reports that the independent post-synthesis gate
+	// (internal/verify) re-simulated Circuit gate by gate and its
+	// permutation matches the input specification. False when no circuit
+	// was found or when the gate was skipped — Options.SkipVerify set, or
+	// the function too wide to tabulate (verify.Feasible). A found circuit
+	// with Verified false is unchecked, not wrong; a circuit that fails the
+	// gate never reaches the caller (StopVerifyFailed instead).
+	Verified bool
 	// Err is non-nil only when the run was aborted by a recovered internal
 	// invariant panic (StopReason == StopInternalError). The rest of the
 	// Result is zero in that case; the process survives.
@@ -102,7 +110,7 @@ func SynthesizeContext(ctx context.Context, spec *pprm.Spec, opts Options) (res 
 	}()
 	s := newSearcher(spec, opts)
 	s.done = ctx.Done()
-	return s.run()
+	return verifyGate(spec, &opts, s.run())
 }
 
 // SynthesizePerm synthesizes a reversible function given as a permutation:

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"repro/internal/circuit"
+	"repro/internal/pprm"
+	"repro/internal/verify"
+)
+
+// CorruptResultHook, when non-nil, mutates every found circuit immediately
+// before the post-synthesis verification gate inspects it. It exists solely
+// so tests can prove an injected miscompile cannot escape the gate through
+// any entry point (core, CLI, server, sweeps). Production code must never
+// set it; it is package-level (not an Option) precisely so it cannot travel
+// through a request.
+var CorruptResultHook func(*circuit.Circuit)
+
+// verifyGate is the always-on post-synthesis correctness gate: every found
+// circuit is re-simulated by the independent internal/verify oracle against
+// the PPRM specification the search consumed. A pass marks the Result
+// Verified; a failure withdraws the circuit entirely — the caller gets
+// Found false, StopVerifyFailed, and the typed *verify.Error (which still
+// carries the rejected cascade for quarantine) rather than a wrong answer.
+// Skipped (Verified stays false) when the caller opted out or the function
+// is too wide to tabulate.
+func verifyGate(spec *pprm.Spec, opts *Options, res Result) Result {
+	if res.Err != nil || !res.Found || res.Circuit == nil {
+		return res
+	}
+	if CorruptResultHook != nil {
+		CorruptResultHook(res.Circuit)
+	}
+	if opts.SkipVerify || !verify.Feasible(spec.N) {
+		return res
+	}
+	if err := verify.Spec(verify.StageSearch, res.Circuit, spec); err != nil {
+		res.Found = false
+		res.Circuit = nil
+		res.StopReason = StopVerifyFailed
+		res.Err = err
+		if opts.Observe != nil {
+			opts.Observe.Finish(StopVerifyFailed.String())
+		}
+		return res
+	}
+	res.Verified = true
+	if opts.Observe != nil {
+		opts.Observe.SetVerified(true)
+	}
+	return res
+}

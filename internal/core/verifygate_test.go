@@ -1,0 +1,191 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/obs"
+	"repro/internal/perm"
+	"repro/internal/pprm"
+	"repro/internal/rng"
+	"repro/internal/verify"
+)
+
+// corruptAppendNot is the canonical injected miscompile: appending an
+// unconditional NOT always changes the realized function.
+func corruptAppendNot(c *circuit.Circuit) { c.Append(circuit.Gate{Target: 0}) }
+
+func gateTestSpec(t *testing.T, n int, seed uint64) (*pprm.Spec, perm.Perm) {
+	t.Helper()
+	src := rng.New(seed)
+	p := perm.Random(n, src)
+	spec, err := pprm.FromPerm(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec, p
+}
+
+func TestVerifyGatePassesCorrectCircuits(t *testing.T) {
+	spec, p := gateTestSpec(t, 4, 1)
+	res := Synthesize(spec, DefaultOptions())
+	if !res.Found {
+		t.Fatalf("no circuit found (stop=%s)", res.StopReason)
+	}
+	if !res.Verified {
+		t.Error("found circuit not marked Verified by the always-on gate")
+	}
+	if err := verify.Circuit(verify.StageSearch, res.Circuit, p); err != nil {
+		t.Errorf("returned circuit actually wrong: %v", err)
+	}
+}
+
+func TestVerifyGateCatchesInjectedMiscompile(t *testing.T) {
+	CorruptResultHook = corruptAppendNot
+	defer func() { CorruptResultHook = nil }()
+
+	spec, _ := gateTestSpec(t, 4, 2)
+	res := Synthesize(spec, DefaultOptions())
+	if res.Found || res.Circuit != nil {
+		t.Fatalf("corrupted circuit escaped the gate: found=%v circuit=%v", res.Found, res.Circuit)
+	}
+	if res.StopReason != StopVerifyFailed {
+		t.Errorf("stop = %s, want %s", res.StopReason, StopVerifyFailed)
+	}
+	if res.Verified {
+		t.Error("rejected result marked Verified")
+	}
+	var verr *verify.Error
+	if !errors.As(res.Err, &verr) {
+		t.Fatalf("Err is %T (%v), want *verify.Error", res.Err, res.Err)
+	}
+	if verr.Stage != verify.StageSearch {
+		t.Errorf("stage = %q, want %q", verr.Stage, verify.StageSearch)
+	}
+	if verr.Circuit == "" {
+		t.Error("typed error does not carry the rejected cascade")
+	}
+}
+
+func TestVerifyGateSkipVerifyOptsOut(t *testing.T) {
+	CorruptResultHook = corruptAppendNot
+	defer func() { CorruptResultHook = nil }()
+
+	spec, p := gateTestSpec(t, 4, 3)
+	opts := DefaultOptions()
+	opts.SkipVerify = true
+	res := Synthesize(spec, opts)
+	if !res.Found {
+		t.Fatalf("no circuit found (stop=%s)", res.StopReason)
+	}
+	if res.Verified {
+		t.Error("SkipVerify run marked Verified")
+	}
+	// The corruption goes through unchecked — the documented cost of the
+	// opt-out, and the proof the gate (not luck) catches it otherwise.
+	if err := verify.Circuit(verify.StageSearch, res.Circuit, p); err == nil {
+		t.Error("corrupt hook had no effect; test is vacuous")
+	}
+}
+
+func TestVerifyGateWideFunctionsSkipped(t *testing.T) {
+	// A function wider than verify.MaxVars cannot be tabulated; the gate
+	// must skip (Verified false) rather than reject or hang. Identity on
+	// 21 wires synthesizes instantly to the empty circuit.
+	spec := pprm.NewSpec(verify.MaxVars + 1)
+	for i := 0; i < spec.N; i++ {
+		spec.Out[i].Toggle(1 << uint(i))
+	}
+	res := Synthesize(spec, DefaultOptions())
+	if !res.Found {
+		t.Fatalf("identity not synthesized (stop=%s)", res.StopReason)
+	}
+	if res.Verified {
+		t.Error("infeasible width marked Verified")
+	}
+}
+
+func TestVerifyGateOnResumePath(t *testing.T) {
+	spec, _ := gateTestSpec(t, 5, 4)
+	path := filepath.Join(t.TempDir(), "gate.ckpt")
+
+	opts := DefaultOptions()
+	opts.TotalSteps = 3 // too few to solve: forces a resumable stop
+	opts.Checkpoint = Checkpoint{Path: path, EverySteps: 1}
+	first := Synthesize(spec, opts)
+	if first.Found || first.Checkpoints == 0 {
+		t.Fatalf("setup: found=%v checkpoints=%d", first.Found, first.Checkpoints)
+	}
+
+	CorruptResultHook = corruptAppendNot
+	defer func() { CorruptResultHook = nil }()
+	opts.TotalSteps = 0
+	opts.Checkpoint = Checkpoint{} // every-step fsync would dominate the resumed search
+	res, err := ResumeContext(context.Background(), spec, opts, path)
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if res.Found || res.StopReason != StopVerifyFailed {
+		t.Fatalf("resume path not gated: found=%v stop=%s", res.Found, res.StopReason)
+	}
+}
+
+func TestVerifyGatePortfolioPropagation(t *testing.T) {
+	spec, _ := gateTestSpec(t, 4, 5)
+	opts := DefaultOptions()
+	run := obs.NewRun("portfolio-gate")
+	opts.Observe = run
+	res := SynthesizePortfolio(spec, opts, 2)
+	if !res.Found {
+		t.Fatalf("no circuit found (stop=%s)", res.StopReason)
+	}
+	if !res.Verified {
+		t.Error("portfolio result lost the Verified mark in the merge")
+	}
+	if snap := run.Snapshot(time.Now()); !snap.Verified {
+		t.Error("aggregate run snapshot not marked verified")
+	}
+}
+
+func TestVerifyGatePortfolioCatchesInjectedMiscompile(t *testing.T) {
+	CorruptResultHook = corruptAppendNot
+	defer func() { CorruptResultHook = nil }()
+
+	spec, _ := gateTestSpec(t, 4, 6)
+	res := SynthesizePortfolio(spec, DefaultOptions(), 2)
+	if res.Found || res.Circuit != nil {
+		t.Fatal("corrupted circuit escaped the portfolio gate")
+	}
+	if res.StopReason != StopVerifyFailed {
+		t.Errorf("stop = %s, want %s", res.StopReason, StopVerifyFailed)
+	}
+	var verr *verify.Error
+	if !errors.As(res.Err, &verr) {
+		t.Fatalf("Err is %T, want *verify.Error", res.Err)
+	}
+}
+
+func TestDegradedOptions(t *testing.T) {
+	opts := DefaultOptions()
+	opts.SkipVerify = true
+	d := opts.Degraded()
+	if d.Dedup {
+		t.Error("Degraded keeps the transposition table on")
+	}
+	if d.SkipVerify {
+		t.Error("Degraded must re-enable the verification gate")
+	}
+	if !opts.Dedup {
+		t.Error("Degraded mutated its receiver")
+	}
+	// SkipVerify must not shape a job's identity or invalidate checkpoints.
+	a, b := DefaultOptions(), DefaultOptions()
+	b.SkipVerify = true
+	if OptionsFingerprint(&a) != OptionsFingerprint(&b) {
+		t.Error("SkipVerify changes the options fingerprint")
+	}
+}

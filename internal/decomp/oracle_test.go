@@ -1,0 +1,69 @@
+package decomp
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/rng"
+	"repro/internal/verify"
+)
+
+// TestDecomposeAllArityOracle lowers a single m-control Toffoli for every
+// supported width and control arity, and judges each lowering with the
+// independent verification oracle (verify.Transform) instead of the circuit
+// package's own evaluator — the decomposition and the checker share no
+// simulation code. A gate that touches every wire with three or more
+// controls has no free wire for the Barenco construction and must be
+// rejected with ErrNoAncilla; every other combination must lower to an
+// NCT-only cascade realizing the same permutation.
+func TestDecomposeAllArityOracle(t *testing.T) {
+	for wires := 3; wires <= 9; wires++ {
+		for m := 0; m <= wires-1; m++ {
+			controls := make([]int, m)
+			for i := range controls {
+				controls[i] = i + 1
+			}
+			before := circuit.New(wires)
+			before.Append(circuit.NewGate(0, controls...))
+			after, err := DecomposeCircuit(before)
+			if m >= 3 && m == wires-1 {
+				if !errors.Is(err, ErrNoAncilla) {
+					t.Errorf("%d controls on %d wires: err = %v, want ErrNoAncilla", m, wires, err)
+				}
+				continue
+			}
+			if err != nil {
+				t.Errorf("%d controls on %d wires: %v", m, wires, err)
+				continue
+			}
+			if !after.NCTOnly() {
+				t.Errorf("%d controls on %d wires: lowering contains non-NCT gates: %s", m, wires, after)
+				continue
+			}
+			if err := verify.Transform(verify.StageDecomp, before, after); err != nil {
+				t.Errorf("%d controls on %d wires: oracle rejects the lowering: %v", m, wires, err)
+			}
+		}
+	}
+}
+
+// TestDecomposeCascadeOracle lowers random multi-gate cascades and checks
+// each whole-circuit lowering with the oracle's stage-boundary check.
+func TestDecomposeCascadeOracle(t *testing.T) {
+	src := rng.New(17)
+	for trial := 0; trial < 40; trial++ {
+		wires := 4 + src.Intn(5)
+		before := circuit.Random(wires, 1+src.Intn(12), circuit.GT, src)
+		after, err := DecomposeCircuit(before)
+		if errors.Is(err, ErrNoAncilla) {
+			continue // a random gate happened to touch every wire
+		}
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := verify.Transform(verify.StageDecomp, before, after); err != nil {
+			t.Fatalf("trial %d on %d wires: oracle rejects the lowering: %v", trial, wires, err)
+		}
+	}
+}

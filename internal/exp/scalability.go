@@ -60,9 +60,11 @@ type ScalabilityConfig struct {
 }
 
 // fingerprint identifies the workload a ledger belongs to: every field that
-// changes which samples are generated or how they are judged.
+// changes which samples are generated or how they are judged. The trailing
+// format tag versions the ledger line shape — v2 added the per-sample
+// verified flag, so a v1 ledger is discarded rather than misread.
 func (c *ScalabilityConfig) fingerprint() string {
-	return fmt.Sprintf("scalability maxgates=%d samples=%d vars=%d-%d seed=%d steps=%d lib=%d",
+	return fmt.Sprintf("scalability maxgates=%d samples=%d vars=%d-%d seed=%d steps=%d lib=%d fmt=v2",
 		c.MaxGateCount, c.SamplesPerVar, c.MinVars, c.MaxVars, c.Seed, c.TotalSteps, c.Library)
 }
 
@@ -86,6 +88,10 @@ type ScalabilityRow struct {
 	Vars    int
 	Hist    Histogram
 	Elapsed time.Duration
+	// Verified counts the solved samples whose circuit passed the
+	// independent verification gate (every solved sample should: the sweep
+	// tops out at 16 variables, well inside the oracle's tabulation bound).
+	Verified int
 }
 
 // ScalabilityResult is the reproduction of one of Tables V–VII.
@@ -119,6 +125,9 @@ func Scalability(ctx context.Context, cfg ScalabilityConfig) *ScalabilityResult 
 			c := circuit.Random(n, gates, cfg.Library, src)
 			if done, outcome := led.lookup(n, i); done {
 				outcome.apply(&row.Hist)
+				if outcome.verified {
+					row.Verified++
+				}
 				continue
 			}
 			spec := c.PPRM()
@@ -144,6 +153,9 @@ func Scalability(ctx context.Context, cfg ScalabilityConfig) *ScalabilityResult 
 			}
 			if r.Found {
 				row.Hist.Add(r.Circuit.Len())
+				if r.Verified {
+					row.Verified++
+				}
 			} else {
 				row.Hist.AddFailure(r.StopReason)
 			}
@@ -174,9 +186,10 @@ func Scalability(ctx context.Context, cfg ScalabilityConfig) *ScalabilityResult 
 
 // sampleOutcome is one ledger entry: a found gate count or a stop reason.
 type sampleOutcome struct {
-	found bool
-	gates int
-	stop  core.StopReason
+	found    bool
+	gates    int
+	stop     core.StopReason
+	verified bool
 }
 
 func (o sampleOutcome) apply(h *Histogram) {
@@ -223,9 +236,9 @@ func openLedger(cfg *ScalabilityConfig) *ledger {
 			led.fresh = false
 			for _, line := range lines[1:] {
 				var n, i, gates, stop int
-				var found bool
-				if _, err := fmt.Sscanf(line, "%d %d %t %d %d", &n, &i, &found, &gates, &stop); err == nil {
-					led.done[[2]int{n, i}] = sampleOutcome{found: found, gates: gates, stop: core.StopReason(stop)}
+				var found, verified bool
+				if _, err := fmt.Sscanf(line, "%d %d %t %d %d %t", &n, &i, &found, &gates, &stop, &verified); err == nil {
+					led.done[[2]int{n, i}] = sampleOutcome{found: found, gates: gates, stop: core.StopReason(stop), verified: verified}
 				}
 			}
 		}
@@ -289,7 +302,7 @@ func (l *ledger) append(n, i int, r core.Result) {
 	if r.Found {
 		gates = r.Circuit.Len()
 	}
-	fmt.Fprintf(l.w, "%d %d %t %d %d\n", n, i, r.Found, gates, int(r.StopReason))
+	fmt.Fprintf(l.w, "%d %d %t %d %d %t\n", n, i, r.Found, gates, int(r.StopReason), r.Verified)
 	l.w.Flush()
 	os.Remove(l.ckptPath())
 }
@@ -315,7 +328,7 @@ func splitLines(s string) []string {
 // buckets of five, plus the failure column).
 func (r *ScalabilityResult) Write(w io.Writer) {
 	header := []string{"vars", "1-5", "6-10", "11-15", "16-20", "21-25",
-		"26-30", "31-35", "36-40", "failed", "fail%", "elapsed"}
+		"26-30", "31-35", "36-40", "failed", "fail%", "verified", "elapsed"}
 	var rows [][]string
 	for _, row := range r.Rows {
 		cells := []string{itoa(row.Vars)}
@@ -325,6 +338,7 @@ func (r *ScalabilityResult) Write(w io.Writer) {
 		cells = append(cells,
 			itoa(row.Hist.Failed),
 			fmt.Sprintf("%.1f", 100*float64(row.Hist.Failed)/float64(max(row.Hist.Total, 1))),
+			itoa(row.Verified),
 			row.Elapsed.Round(time.Millisecond).String(),
 		)
 		rows = append(rows, cells)

@@ -87,6 +87,7 @@ type Run struct {
 	lastCkptBytes atomic.Int64 // size of the last snapshot image
 
 	doneFlag atomic.Bool
+	verified atomic.Bool // result passed the independent verification gate
 
 	mu       sync.Mutex // guards children, status, stopReason, base
 	children []*Run
@@ -209,6 +210,12 @@ func (r *Run) SetStatus(s string) {
 	r.mu.Unlock()
 }
 
+// SetVerified records whether the run's result passed the independent
+// post-synthesis verification gate (internal/verify); surfaced as the
+// snapshot's Verified flag. Unlike the counters it is never cleared by
+// Begin — it describes the run's final answer, not an attempt.
+func (r *Run) SetVerified(v bool) { r.verified.Store(v) }
+
 // Finish marks the Run done with the given stop reason. A later Begin
 // (another attempt on the same Run) clears the done mark again.
 func (r *Run) Finish(stopReason string) {
@@ -248,6 +255,11 @@ type ProgressSnapshot struct {
 
 	BestGates       int `json:"best_gates"` // -1 until a solution exists
 	BestQuantumCost int `json:"best_quantum_cost,omitempty"`
+
+	// Verified reports that the run's result passed the independent
+	// verification gate; false means unchecked or no result, never "wrong"
+	// (a failed check surfaces as a verify-failed stop, not a snapshot).
+	Verified bool `json:"verified"`
 
 	Checkpoints         int64         `json:"checkpoints"`
 	LastCheckpointAge   time.Duration `json:"last_checkpoint_age_ns"` // -1 = never written
@@ -295,6 +307,7 @@ func (r *Run) Snapshot(now time.Time) ProgressSnapshot {
 	ckpts := r.checkpoints.Load()
 	lastCkpt, lastCkptBytes := r.lastCkptNano.Load(), r.lastCkptBytes.Load()
 	done := r.doneFlag.Load()
+	verified := r.verified.Load()
 	start := r.startNano.Load()
 
 	for _, c := range children {
@@ -315,6 +328,9 @@ func (r *Run) Snapshot(now time.Time) ProgressSnapshot {
 			start = cs
 		}
 		done = done && c.doneFlag.Load()
+		// The portfolio marks the parent for the circuit it returns; a
+		// verified child also counts (sweep rows report through children).
+		verified = verified || c.verified.Load()
 	}
 
 	snap := ProgressSnapshot{
@@ -336,6 +352,7 @@ func (r *Run) Snapshot(now time.Time) ProgressSnapshot {
 		DedupEvictions:      t.DedupEvictions,
 		BestGates:           int(best),
 		BestQuantumCost:     int(bestCost),
+		Verified:            verified,
 		Checkpoints:         ckpts,
 		LastCheckpointAge:   -1,
 		LastCheckpointBytes: lastCkptBytes,

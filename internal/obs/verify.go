@@ -1,0 +1,27 @@
+package obs
+
+import "expvar"
+
+// Process-wide verification-gate counters, published as expvars alongside
+// rmrls.progress so scrapers see gate health without a per-run pipeline. A
+// verification failure is an engine bug surfacing in production — the
+// counters exist to make that event impossible to miss, not to measure a
+// rate (the expected value is zero, forever).
+var (
+	verifyFailures = expvar.NewInt("rmrls.verify_failures")
+	degradedReruns = expvar.NewInt("rmrls.degraded_reruns")
+)
+
+// IncVerifyFailure counts one independent-verification failure (a circuit
+// withdrawn by the gate).
+func IncVerifyFailure() { verifyFailures.Add(1) }
+
+// IncDegradedRerun counts one graceful-degradation re-run triggered by a
+// verification failure.
+func IncDegradedRerun() { degradedReruns.Add(1) }
+
+// VerifyFailures returns the process-wide verification-failure count.
+func VerifyFailures() int64 { return verifyFailures.Value() }
+
+// DegradedReruns returns the process-wide degraded re-run count.
+func DegradedReruns() int64 { return degradedReruns.Value() }

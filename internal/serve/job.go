@@ -56,6 +56,7 @@ type Job struct {
 	errMsg    string
 	note      string // operational note: resume fallback, clamp summary, ...
 	resumed   bool
+	degraded  bool // verification failure triggered a degraded re-run
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
@@ -108,6 +109,26 @@ func (j *Job) markRunning(now time.Time) {
 	j.mu.Unlock()
 }
 
+// setDegraded marks the job for its one graceful-degradation re-run (the
+// worker's realRun swaps in Options.Degraded) and appends the operational
+// note explaining why to the job view.
+func (j *Job) setDegraded(note string) {
+	j.mu.Lock()
+	j.degraded = true
+	if j.note != "" {
+		j.note += "; "
+	}
+	j.note += note
+	j.mu.Unlock()
+}
+
+// isDegraded reports whether the job is on its degraded re-run.
+func (j *Job) isDegraded() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.degraded
+}
+
 // finish records a terminal result. Idempotent close of done.
 func (j *Job) finish(status JobStatus, res core.Result, verified *bool, errMsg string, now time.Time) {
 	j.mu.Lock()
@@ -133,6 +154,7 @@ type JobView struct {
 	Clamped      []string `json:"clamped,omitempty"`
 	Note         string   `json:"note,omitempty"`
 	Resumed      bool     `json:"resumed,omitempty"`
+	Degraded     bool     `json:"degraded,omitempty"`
 
 	SubmittedAt time.Time  `json:"submitted_at"`
 	StartedAt   *time.Time `json:"started_at,omitempty"`
@@ -172,6 +194,7 @@ func (j *Job) view(deduplicated bool) JobView {
 		Clamped:      j.clamps,
 		Note:         j.note,
 		Resumed:      j.resumed,
+		Degraded:     j.degraded,
 		SubmittedAt:  j.submitted,
 		Error:        j.errMsg,
 	}

@@ -2,10 +2,13 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/verify"
 )
 
 // worker is one pool goroutine: dequeue, execute, repeat until drain.
@@ -26,35 +29,48 @@ func (s *Server) worker() {
 // any injected test runner) so a wedged run cannot hold the worker past its
 // budget. Panics from the runner seam are isolated into a failed job, never
 // a dead worker.
+//
+// Every found circuit must clear the independent verification gate before
+// the client sees it. A gate failure is an engine bug surfacing in
+// production: the evidence is quarantined, the counters bump, and the job
+// gets exactly one graceful-degradation re-run with the optimizers disabled
+// before it is failed with a 500 — never a wrong 200.
 func (s *Server) execute(j *Job) {
 	s.running.Add(1)
 	defer s.running.Add(-1)
 	j.markRunning(time.Now())
 
-	ctx := s.drainCtx
-	if tl := j.opts.TimeLimit; tl > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, tl+5*time.Second)
-		defer cancel()
+	res := s.attempt(j)
+	if s.parkIfDraining(j, res) {
+		return
 	}
 
-	res := s.invoke(ctx, j)
-
-	// A drain cancellation is not a terminal outcome: when the stop is
-	// resumable and a checkpoint directory is configured, the engine has
-	// already flushed the final snapshot — park the job for the ledger.
-	if s.draining.Load() && res.Err == nil && res.StopReason == core.StopCanceled && s.cfg.StateDir != "" {
-		s.stats.interrupted.Add(1)
-		j.mu.Lock()
-		j.status = StatusInterrupted
-		j.res = res
-		j.mu.Unlock()
-		select {
-		case <-j.done:
-		default:
-			close(j.done)
+	if verr := s.gateError(j, &res); verr != nil {
+		s.stats.verifyFailures.Add(1)
+		obs.IncVerifyFailure()
+		note := "independent verification failed"
+		if path := s.quarantine(j, verr, "primary"); path != "" {
+			note += "; evidence quarantined to " + path
 		}
-		return
+		note += "; retrying degraded (optimizers disabled)"
+		j.setDegraded(note)
+		s.stats.degradedReruns.Add(1)
+		obs.IncDegradedRerun()
+
+		res = s.attempt(j)
+		if s.parkIfDraining(j, res) {
+			return
+		}
+		if verr2 := s.gateError(j, &res); verr2 != nil {
+			s.stats.verifyFailures.Add(1)
+			obs.IncVerifyFailure()
+			s.quarantine(j, verr2, "degraded")
+			s.stats.failed.Add(1)
+			j.finish(StatusFailed, res, nil,
+				fmt.Sprintf("verification failed after degraded re-run: %v", verr2), time.Now())
+			s.removeCheckpoint(j)
+			return
+		}
 	}
 
 	if res.Err != nil {
@@ -64,23 +80,78 @@ func (s *Server) execute(j *Job) {
 		return
 	}
 
-	// Verify found circuits against the tabulated function when feasible;
-	// a verification failure is an engine bug surfaced as a failed job, not
-	// a wrong answer handed to the client.
 	var verified *bool
-	if res.Found && res.Circuit != nil && j.fperm != nil && j.spec.N <= 22 {
+	if res.Found && res.Circuit != nil && res.Verified {
 		v := true
-		if err := core.Verify(res.Circuit, j.fperm); err != nil {
-			s.stats.failed.Add(1)
-			j.finish(StatusFailed, res, &v, fmt.Sprintf("verification failed: %v", err), time.Now())
-			s.removeCheckpoint(j)
-			return
-		}
 		verified = &v
 	}
 	s.stats.completed.Add(1)
 	j.finish(StatusDone, res, verified, "", time.Now())
 	s.removeCheckpoint(j)
+}
+
+// attempt runs the job once under its own deadline-backstopped context, so
+// a degraded re-run gets a fresh time budget instead of the tail of the
+// first attempt's.
+func (s *Server) attempt(j *Job) core.Result {
+	ctx := s.drainCtx
+	if tl := j.opts.TimeLimit; tl > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, tl+5*time.Second)
+		defer cancel()
+	}
+	return s.invoke(ctx, j)
+}
+
+// parkIfDraining handles the one non-terminal outcome: when a drain
+// canceled a resumable search and a checkpoint directory is configured, the
+// engine has already flushed the final snapshot — park the job for the
+// ledger instead of finishing it.
+func (s *Server) parkIfDraining(j *Job, res core.Result) bool {
+	if !s.draining.Load() || res.Err != nil || res.StopReason != core.StopCanceled || s.cfg.StateDir == "" {
+		return false
+	}
+	s.stats.interrupted.Add(1)
+	j.mu.Lock()
+	j.status = StatusInterrupted
+	j.res = res
+	j.mu.Unlock()
+	select {
+	case <-j.done:
+	default:
+		close(j.done)
+	}
+	return true
+}
+
+// gateError decides whether a result is a verification failure. Two ways
+// in: the engine's own always-on gate already withdrew the circuit (the
+// typed *verify.Error rides in res.Err), or the server's second, fully
+// independent check against the tabulated function finds a mismatch the
+// engine-side gate missed (possible only through the Runner test seam or a
+// bug in the gate itself — exactly what an independent check is for). In
+// the second case the circuit is withdrawn here so no later path can hand
+// it to a client.
+func (s *Server) gateError(j *Job, res *core.Result) *verify.Error {
+	var verr *verify.Error
+	if errors.As(res.Err, &verr) {
+		return verr
+	}
+	if res.Err != nil || !res.Found || res.Circuit == nil {
+		return nil
+	}
+	if j.fperm == nil || !verify.Feasible(j.spec.N) {
+		return nil
+	}
+	if err := verify.Circuit(verify.StageSearch, res.Circuit, j.fperm); err != nil && errors.As(err, &verr) {
+		res.Found = false
+		res.Circuit = nil
+		res.Verified = false
+		res.StopReason = core.StopVerifyFailed
+		res.Err = verr
+		return verr
+	}
+	return nil
 }
 
 // invoke runs the configured runner (the real engine by default) with
@@ -106,6 +177,9 @@ func (s *Server) invoke(ctx context.Context, j *Job) (res core.Result) {
 // start (the resume contract: every resume error means "start fresh").
 func (s *Server) realRun(ctx context.Context, j *Job) core.Result {
 	opts := j.opts
+	if j.isDegraded() {
+		opts = opts.Degraded()
+	}
 	opts.Observe = j.run
 	if s.cfg.StateDir != "" {
 		opts.Checkpoint = core.Checkpoint{

@@ -89,6 +89,14 @@ func reqErr(field, format string, args ...any) *RequestError {
 // PPRM text, which stays polynomial in the written size.
 const maxPermEntries = 1 << 16
 
+// PLA embedding parameters: fixed so a request's compiled spec — and
+// therefore its idempotency key — is deterministic, and recorded in
+// quarantine artifacts so an offline replay reproduces the same embedding.
+const (
+	plaEmbedTries        = 16
+	plaEmbedSeed  uint64 = 1
+)
+
 // compiled is a validated, engine-ready request.
 type compiled struct {
 	spec   *pprm.Spec
@@ -207,7 +215,7 @@ func compileSpec(in *SpecInput) (*pprm.Spec, perm.Perm, *RequestError) {
 		if err != nil {
 			return nil, nil, reqErr("spec.pla", "%v", err)
 		}
-		emb, _, err := tt.EmbedPartial(pt, 16, 1)
+		emb, _, err := tt.EmbedPartial(pt, plaEmbedTries, plaEmbedSeed)
 		if err != nil {
 			return nil, nil, reqErr("spec.pla", "%v", err)
 		}

@@ -80,14 +80,21 @@ func (c *Config) withDefaults() Config {
 }
 
 // Stats are the server's monotonic counters, exposed on /v1/healthz.
+// VerifyFailures counts circuits withdrawn by the independent verification
+// gate (per attempt); DegradedReruns counts the graceful-degradation
+// re-runs those failures triggered. Both should read zero on a healthy
+// instance — a nonzero value means an engine bug reached production and
+// there is a quarantine artifact to triage in the state directory.
 type Stats struct {
-	Submitted    int64 `json:"submitted"`
-	Deduplicated int64 `json:"deduplicated"`
-	Shed         int64 `json:"shed"`
-	Completed    int64 `json:"completed"`
-	Failed       int64 `json:"failed"`
-	Interrupted  int64 `json:"interrupted"`
-	Recovered    int64 `json:"recovered"`
+	Submitted      int64 `json:"submitted"`
+	Deduplicated   int64 `json:"deduplicated"`
+	Shed           int64 `json:"shed"`
+	Completed      int64 `json:"completed"`
+	Failed         int64 `json:"failed"`
+	Interrupted    int64 `json:"interrupted"`
+	Recovered      int64 `json:"recovered"`
+	VerifyFailures int64 `json:"verify_failures"`
+	DegradedReruns int64 `json:"degraded_reruns"`
 }
 
 // Server is the synthesis service: bounded queue, worker pool, job
@@ -104,6 +111,7 @@ type Server struct {
 	running atomic.Int64
 	stats   struct {
 		submitted, deduped, shed, completed, failed, interrupted, recovered atomic.Int64
+		verifyFailures, degradedReruns                                      atomic.Int64
 	}
 
 	draining  atomic.Bool
@@ -153,13 +161,15 @@ func (s *Server) RecoveryNotes() []string { return append([]string(nil), s.recov
 // Stats returns a snapshot of the server counters.
 func (s *Server) Stats() Stats {
 	return Stats{
-		Submitted:    s.stats.submitted.Load(),
-		Deduplicated: s.stats.deduped.Load(),
-		Shed:         s.stats.shed.Load(),
-		Completed:    s.stats.completed.Load(),
-		Failed:       s.stats.failed.Load(),
-		Interrupted:  s.stats.interrupted.Load(),
-		Recovered:    s.stats.recovered.Load(),
+		Submitted:      s.stats.submitted.Load(),
+		Deduplicated:   s.stats.deduped.Load(),
+		Shed:           s.stats.shed.Load(),
+		Completed:      s.stats.completed.Load(),
+		Failed:         s.stats.failed.Load(),
+		Interrupted:    s.stats.interrupted.Load(),
+		Recovered:      s.stats.recovered.Load(),
+		VerifyFailures: s.stats.verifyFailures.Load(),
+		DegradedReruns: s.stats.degradedReruns.Load(),
 	}
 }
 

@@ -1,0 +1,78 @@
+package verify
+
+import (
+	"fmt"
+
+	"repro/internal/bits"
+	"repro/internal/circuit"
+	"repro/internal/perm"
+)
+
+// Wire relabeling is the simplest member of the equivalence family the
+// roadmap's canonicalization cache will exploit: conjugating a function by a
+// wire permutation yields an equivalent synthesis problem whose circuit is
+// the original with wires renamed. These helpers build both sides of that
+// equation so the metamorphic fuzz targets can pin the invariant
+//
+//	Simulate(RelabelCircuit(c, m)) == RelabelPerm(Simulate(c), m)
+//
+// today, before any cache relies on it.
+
+// ValidWireMap reports whether m is a permutation of the wires 0..n-1.
+func ValidWireMap(m []int, n int) bool {
+	if len(m) != n {
+		return false
+	}
+	seen := make([]bool, n)
+	for _, w := range m {
+		if w < 0 || w >= n || seen[w] {
+			return false
+		}
+		seen[w] = true
+	}
+	return true
+}
+
+// scatter moves bit w of x to bit m[w] for every wire.
+func scatter(x uint32, m []int) uint32 {
+	var out uint32
+	for w, nw := range m {
+		out |= (x >> uint(w) & 1) << uint(nw)
+	}
+	return out
+}
+
+// RelabelCircuit returns a copy of c with every wire w renamed to m[w].
+// m must be a permutation of 0..Wires-1.
+func RelabelCircuit(c *circuit.Circuit, m []int) (*circuit.Circuit, error) {
+	if !ValidWireMap(m, c.Wires) {
+		return nil, fmt.Errorf("verify: wire map %v is not a permutation of %d wires", m, c.Wires)
+	}
+	out := circuit.New(c.Wires)
+	for _, g := range c.Gates {
+		out.Append(circuit.Gate{
+			Target:   m[g.Target],
+			Controls: bits.Mask(scatter(uint32(g.Controls), m)),
+		})
+	}
+	return out, nil
+}
+
+// RelabelPerm conjugates p by the wire permutation m: the returned function
+// q satisfies q(scatter(x)) = scatter(p(x)) — relabeling both the inputs
+// and the outputs, exactly what renaming the wires of a realizing circuit
+// does to its permutation.
+func RelabelPerm(p perm.Perm, m []int) (perm.Perm, error) {
+	n := 0
+	for size := len(p); size > 1; size >>= 1 {
+		n++
+	}
+	if 1<<uint(n) != len(p) || !ValidWireMap(m, n) {
+		return nil, fmt.Errorf("verify: wire map %v does not fit a %d-entry permutation", m, len(p))
+	}
+	q := make(perm.Perm, len(p))
+	for x, y := range p {
+		q[scatter(uint32(x), m)] = scatter(y, m)
+	}
+	return q, nil
+}

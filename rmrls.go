@@ -15,6 +15,7 @@ import (
 	"repro/internal/perm"
 	"repro/internal/pprm"
 	"repro/internal/tt"
+	"repro/internal/verify"
 )
 
 // Re-exported core types. The facade keeps downstream users on one import
@@ -74,7 +75,17 @@ const (
 	StopMemoryLimit       = core.StopMemoryLimit
 	StopRestartsExhausted = core.StopRestartsExhausted
 	StopInternalError     = core.StopInternalError
+	StopVerifyFailed      = core.StopVerifyFailed
 )
+
+// VerifyError is the typed failure of the always-on post-synthesis
+// verification gate: the search produced a circuit that an independent
+// simulator rejected. A Result carrying one has Found == false and
+// StopReason == StopVerifyFailed; unwrap it with errors.As to recover the
+// rejected cascade and the first mismatching input. Disable the gate with
+// Options.SkipVerify (functions wider than verify.MaxVars skip it
+// automatically and report Result.Verified == false).
+type VerifyError = verify.Error
 
 // DefaultOptions returns the recommended synthesis configuration (greedy
 // pruning, additional substitutions, restarts).
