@@ -1,0 +1,92 @@
+// Command linkcheck validates the relative links in the repository's
+// markdown documentation. It scans the given files (or the repo default
+// set: README.md and docs/*.md), extracts inline links and images, and
+// fails with a non-zero exit listing every link whose target does not
+// exist on disk. External links (http, https, mailto) and pure in-page
+// anchors are skipped — this is a docs-tree integrity check, not a web
+// crawler. CI runs it so a renamed doc or flag reference cannot silently
+// strand readers.
+//
+// Usage:
+//
+//	linkcheck [file.md ...]
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// linkRe matches inline markdown links and images: [text](target) and
+// ![alt](target). Reference-style definitions are rare in this repo and
+// intentionally out of scope.
+var linkRe = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+func main() {
+	files := os.Args[1:]
+	if len(files) == 0 {
+		files = defaultSet()
+	}
+	broken := 0
+	for _, f := range files {
+		for _, b := range checkFile(f) {
+			fmt.Fprintln(os.Stderr, b)
+			broken++
+		}
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "linkcheck: %d broken link(s)\n", broken)
+		os.Exit(1)
+	}
+	fmt.Printf("linkcheck: %d file(s) clean\n", len(files))
+}
+
+// defaultSet is README.md plus every markdown file under docs/.
+func defaultSet() []string {
+	files := []string{"README.md"}
+	docs, _ := filepath.Glob(filepath.Join("docs", "*.md"))
+	sort.Strings(docs)
+	return append(files, docs...)
+}
+
+// checkFile returns one message per broken relative link in path.
+func checkFile(path string) []string {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: %v", path, err)}
+	}
+	var msgs []string
+	dir := filepath.Dir(path)
+	for i, line := range strings.Split(string(data), "\n") {
+		for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if skip(target) {
+				continue
+			}
+			// Strip an in-file anchor: FILE#section checks FILE.
+			if idx := strings.IndexByte(target, '#'); idx >= 0 {
+				target = target[:idx]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(dir, filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				msgs = append(msgs, fmt.Sprintf("%s:%d: broken link %q (resolved %s)", path, i+1, m[1], resolved))
+			}
+		}
+	}
+	return msgs
+}
+
+// skip reports whether target is outside this checker's scope.
+func skip(target string) bool {
+	return strings.HasPrefix(target, "http://") ||
+		strings.HasPrefix(target, "https://") ||
+		strings.HasPrefix(target, "mailto:") ||
+		strings.HasPrefix(target, "#")
+}

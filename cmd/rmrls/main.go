@@ -37,6 +37,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/bits"
+	"repro/internal/cache"
 	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/decomp"
@@ -98,6 +99,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		noverify  = fs.Bool("noverify", false, "skip the independent result verification gate (not recommended)")
 		baseline  = fs.Bool("mmd", false, "also run the transformation-based baseline")
 		portfolio = fs.Bool("portfolio", false, "run the parallel search portfolio + tightening (slower, better circuits)")
+		cacheDir  = fs.String("cache-dir", "", "persistent canonical-form answer cache directory; repeated or relabeled requests are answered from it without a search")
 		ckptPath  = fs.String("checkpoint", "", "periodically save the search state to this file (crash-safe atomic writes)")
 		ckptEvery = fs.Duration("checkpoint-interval", 30*time.Second, "wall-clock interval between periodic checkpoints")
 		resume    = fs.Bool("resume", false, "continue from the -checkpoint file if it holds a usable snapshot (falls back to a fresh start)")
@@ -162,6 +164,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		// single-searcher snapshot cannot represent it.
 		fmt.Fprintln(stderr, "rmrls: -checkpoint/-resume cannot be combined with -portfolio")
 		return 1
+	}
+	if *cacheDir != "" {
+		ac, err := cache.Open(*cacheDir, nil)
+		if err != nil {
+			fmt.Fprintln(stderr, "rmrls:", err)
+			return 1
+		}
+		opts.Cache = ac
 	}
 	if *ckptPath != "" {
 		opts.Checkpoint = core.Checkpoint{
@@ -315,6 +325,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		if probes := res.DedupHits + res.DedupMisses; probes > 0 {
 			fmt.Fprintf(stdout, "# dedup: %d/%d duplicate states pruned (%.1f%% hit rate, %d evictions)\n",
 				res.DedupHits, probes, 100*float64(res.DedupHits)/float64(probes), res.DedupEvictions)
+		}
+		if opts.Cache != nil && res.CanonicalClass != 0 {
+			if res.CacheHit {
+				fmt.Fprintf(stdout, "# cache: hit class=%016x (answered by conjugation, no search)\n", res.CanonicalClass)
+			} else if st := opts.Cache.Stats(); st.Stores > 0 {
+				fmt.Fprintf(stdout, "# cache: miss class=%016x (result stored for the next run)\n", res.CanonicalClass)
+			} else {
+				fmt.Fprintf(stdout, "# cache: miss class=%016x\n", res.CanonicalClass)
+			}
 		}
 		if res.Verified {
 			fmt.Fprintln(stdout, "# verified: circuit realizes the specification")

@@ -60,6 +60,7 @@ func run(args []string, sig chan os.Signal, stdout, stderr io.Writer) int {
 		maxGates = fs.Int("max-gates", 0, "per-request circuit-size ceiling (0 = unlimited)")
 
 		stateDir  = fs.String("state", "", "directory for drain checkpoints and the job ledger (empty disables drain persistence)")
+		cacheDir  = fs.String("cache-dir", "", "directory for the persistent canonical-form answer cache (empty disables it)")
 		ckptEvery = fs.Duration("checkpoint-interval", 30*time.Second, "periodic checkpoint cadence for running jobs")
 
 		drainTimeout = fs.Duration("drain-timeout", 2*time.Minute, "how long a shutdown waits for running jobs to checkpoint")
@@ -85,6 +86,7 @@ func run(args []string, sig chan os.Signal, stdout, stderr io.Writer) int {
 			MaxGates:  *maxGates,
 		},
 		StateDir:           *stateDir,
+		CacheDir:           *cacheDir,
 		CheckpointInterval: *ckptEvery,
 		RetryAfter:         *retryAfter,
 	})

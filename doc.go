@@ -22,6 +22,17 @@
 // provably optimal 3-variable synthesis (OptimalDistances), quantum-cost
 // accounting, and an EXORCISM-style ESOP minimizer (internal/esop).
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-vs-measured record of every table and figure.
+// # Which doc do I read?
+//
+//	the algorithm itself            docs/ALGORITHM.md
+//	design choices + inventory      DESIGN.md
+//	search performance, dedup       docs/PERFORMANCE.md
+//	long runs, checkpoint/resume    docs/OPERATIONS.md
+//	live metrics, expvar/pprof      docs/OBSERVABILITY.md
+//	the rmrlsd HTTP service         docs/SERVICE.md
+//	the verification gate           docs/VERIFICATION.md
+//	canonical forms + answer cache  docs/CACHING.md
+//	paper-vs-measured numbers       EXPERIMENTS.md
+//
+// See the README's documentation index for one-line summaries of each.
 package rmrls

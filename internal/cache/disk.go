@@ -1,0 +1,144 @@
+package cache
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/bits"
+	"repro/internal/canon"
+	"repro/internal/circuit"
+	"repro/internal/perm"
+)
+
+// On-disk entry format, one file per (class, fingerprint) key:
+//
+//	magic   "RMAC"            4 bytes
+//	version 1                 1 byte
+//	crc32   IEEE of payload   4 bytes little-endian
+//	payload:
+//	  n        1 byte                      variables
+//	  rep      2^n × uint32 little-endian  class representative
+//	  wires    n × 1 byte                  member→rep relabeling
+//	  polarity uint32 little-endian        member→rep polarity mask
+//	  gates    uint32 little-endian        gate count
+//	  each gate: target 1 byte, controls uint32 little-endian
+//
+// The name in the directory is the key ("<class>-<fingerprint>.rmce" in
+// hex), so lookups are a single stat/read with no index file to maintain
+// — the store is content-addressed by construction. Any deviation from
+// the format (short file, bad magic, version skew, CRC mismatch,
+// structurally invalid payload) decodes to ErrCorruptEntry and reads as a
+// cache miss.
+
+const (
+	entryMagic   = "RMAC"
+	entryVersion = 1
+	entryExt     = ".rmce"
+)
+
+// ErrCorruptEntry reports an unreadable persistent cache entry. It is
+// always handled inside the cache (drop + miss); the type exists so tests
+// can assert the classification.
+var ErrCorruptEntry = errors.New("cache: corrupt entry")
+
+func encodeEntry(e *entry) []byte {
+	n := len(e.to.Wires)
+	size := 4 + 1 + 4 + 1 + 4*len(e.rep) + n + 4 + 4 + 5*len(e.circ.Gates)
+	buf := make([]byte, 0, size)
+	buf = append(buf, entryMagic...)
+	buf = append(buf, entryVersion)
+	buf = append(buf, 0, 0, 0, 0) // CRC placeholder
+	buf = append(buf, byte(n))
+	for _, v := range e.rep {
+		buf = binary.LittleEndian.AppendUint32(buf, v)
+	}
+	for _, w := range e.to.Wires {
+		buf = append(buf, byte(w))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, e.to.Polarity)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(e.circ.Gates)))
+	for _, g := range e.circ.Gates {
+		buf = append(buf, byte(g.Target))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(g.Controls))
+	}
+	binary.LittleEndian.PutUint32(buf[5:9], crc32.ChecksumIEEE(buf[9:]))
+	return buf
+}
+
+func decodeEntry(data []byte) (*entry, error) {
+	if len(data) < 9 || string(data[:4]) != entryMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorruptEntry)
+	}
+	if data[4] != entryVersion {
+		return nil, fmt.Errorf("%w: version %d, want %d", ErrCorruptEntry, data[4], entryVersion)
+	}
+	payload := data[9:]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(data[5:9]) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorruptEntry)
+	}
+	r := reader{data: payload}
+	n := int(r.byte())
+	if r.err != nil || !Cacheable(n) {
+		return nil, fmt.Errorf("%w: bad variable count", ErrCorruptEntry)
+	}
+	rep := make(perm.Perm, 1<<uint(n))
+	for i := range rep {
+		rep[i] = r.uint32()
+	}
+	wires := make([]int, n)
+	for i := range wires {
+		wires[i] = int(r.byte())
+	}
+	to := canon.Transform{Wires: wires, Polarity: r.uint32()}
+	gates := int(r.uint32())
+	if r.err != nil || gates < 0 || len(r.data)-r.off != 5*gates {
+		return nil, fmt.Errorf("%w: bad gate table", ErrCorruptEntry)
+	}
+	circ := circuit.New(n)
+	for i := 0; i < gates; i++ {
+		g := circuit.Gate{Target: int(r.byte())}
+		g.Controls = bits.Mask(r.uint32())
+		circ.Append(g)
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("%w: truncated", ErrCorruptEntry)
+	}
+	if err := rep.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorruptEntry, err)
+	}
+	if err := to.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorruptEntry, err)
+	}
+	if err := circ.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorruptEntry, err)
+	}
+	return &entry{rep: rep, to: to, circ: circ}, nil
+}
+
+type reader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (r *reader) byte() byte {
+	if r.err != nil || r.off >= len(r.data) {
+		r.err = ErrCorruptEntry
+		return 0
+	}
+	b := r.data[r.off]
+	r.off++
+	return b
+}
+
+func (r *reader) uint32() uint32 {
+	if r.err != nil || r.off+4 > len(r.data) {
+		r.err = ErrCorruptEntry
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.data[r.off:])
+	r.off += 4
+	return v
+}

@@ -1,0 +1,341 @@
+// Package canon classifies reversible specifications up to input/output
+// relabeling and polarity. Two permutations p and q are equivalent when
+// q = T∘p∘T⁻¹ for a transform T that permutes the wires and inverts some
+// of them — conjugation by an element of the hyperoctahedral group of
+// order n!·2^n. Equivalent specifications have synthesis problems of
+// identical difficulty, and a circuit for one converts into a circuit for
+// the other by renaming wires and adding a NOT sandwich (see
+// Transform.ConjugateCircuit), which is what the answer cache in
+// internal/cache exploits: synthesize one class member, answer the whole
+// class by conjugation.
+//
+// Canonicalize maps a permutation to a canonical class representative and
+// the transform reaching it. For n ≤ ExactVars the representative is the
+// exact orbit minimum (lexicographically smallest conjugate over all
+// n!·2^n transforms), so equivalence is decided exactly. Above that the
+// orbit is too large to scan, so a deterministic greedy normalization is
+// used instead: it is a *sound under-approximation* — equal canonical
+// forms always mean equivalent functions (the transform is returned and
+// checkable), but two equivalent functions may normalize differently and
+// land in distinct classes. For a cache that only costs hit rate, never
+// correctness.
+package canon
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bits"
+	"repro/internal/circuit"
+	"repro/internal/perm"
+)
+
+// ExactVars is the largest variable count for which Canonicalize scans the
+// entire orbit and returns the exact lexicographic minimum. 3!·2^3 = 48
+// transforms over 8-entry tables is trivial; 4 variables would already be
+// 384 transforms over 16 entries per call, still cheap, but the exhaustive
+// class-partition test that pins the classifier (all 8! = 40320 functions)
+// is only feasible at 3, so that is where the exactness claim is proven
+// and where it stops.
+const ExactVars = 3
+
+// Transform is an element of the hyperoctahedral group on n wires: first
+// relabel (bit w of the input moves to bit Wires[w]), then invert the
+// wires set in Polarity. As a function on assignments,
+//
+//	T(x) = scatter(x, Wires) ^ Polarity.
+type Transform struct {
+	// Wires is the relabeling: wire w is renamed to Wires[w]. It must be
+	// a permutation of 0..n-1.
+	Wires []int
+	// Polarity has bit v set when output wire v is inverted after the
+	// relabeling.
+	Polarity uint32
+}
+
+// Identity returns the identity transform on n wires.
+func Identity(n int) Transform {
+	w := make([]int, n)
+	for i := range w {
+		w[i] = i
+	}
+	return Transform{Wires: w}
+}
+
+// N returns the number of wires the transform acts on.
+func (t Transform) N() int { return len(t.Wires) }
+
+// Validate checks that Wires is a permutation and Polarity fits in n bits.
+func (t Transform) Validate() error {
+	n := len(t.Wires)
+	if n < 1 || n > 32 {
+		return fmt.Errorf("canon: transform on %d wires", n)
+	}
+	seen := make([]bool, n)
+	for _, w := range t.Wires {
+		if w < 0 || w >= n || seen[w] {
+			return fmt.Errorf("canon: wire map %v is not a permutation of %d wires", t.Wires, n)
+		}
+		seen[w] = true
+	}
+	if n < 32 && t.Polarity>>uint(n) != 0 {
+		return fmt.Errorf("canon: polarity %#x exceeds %d wires", t.Polarity, n)
+	}
+	return nil
+}
+
+// IsIdentity reports whether the transform maps every assignment to itself.
+func (t Transform) IsIdentity() bool {
+	if t.Polarity != 0 {
+		return false
+	}
+	for w, nw := range t.Wires {
+		if w != nw {
+			return false
+		}
+	}
+	return true
+}
+
+// scatter moves bit w of x to bit m[w] for every wire (same convention as
+// internal/verify's relabeling helpers).
+func scatter(x uint32, m []int) uint32 {
+	var out uint32
+	for w, nw := range m {
+		out |= (x >> uint(w) & 1) << uint(nw)
+	}
+	return out
+}
+
+// Apply evaluates the transform on one assignment.
+func (t Transform) Apply(x uint32) uint32 {
+	return scatter(x, t.Wires) ^ t.Polarity
+}
+
+// Compose returns the transform "t after u": Compose(x) = t(u(x)).
+func (t Transform) Compose(u Transform) Transform {
+	if len(t.Wires) != len(u.Wires) {
+		panic("canon: Compose size mismatch")
+	}
+	w := make([]int, len(t.Wires))
+	for i := range w {
+		w[i] = t.Wires[u.Wires[i]]
+	}
+	return Transform{Wires: w, Polarity: scatter(u.Polarity, t.Wires) ^ t.Polarity}
+}
+
+// Inverse returns the transform undoing t.
+func (t Transform) Inverse() Transform {
+	w := make([]int, len(t.Wires))
+	for i, nw := range t.Wires {
+		w[nw] = i
+	}
+	return Transform{Wires: w, Polarity: scatter(t.Polarity, w)}
+}
+
+// Conjugate returns T∘p∘T⁻¹, the permutation of the same function seen
+// through relabeled and re-polarized wires. p must have exactly 2^n rows
+// for the transform's n.
+func (t Transform) Conjugate(p perm.Perm) perm.Perm {
+	if len(p) != 1<<uint(len(t.Wires)) {
+		panic(fmt.Sprintf("canon: Conjugate: %d-entry permutation under %d-wire transform", len(p), len(t.Wires)))
+	}
+	q := make(perm.Perm, len(p))
+	for x, y := range p {
+		q[t.Apply(uint32(x))] = t.Apply(y)
+	}
+	return q
+}
+
+// ConjugateCircuit builds a cascade realizing T∘f∘T⁻¹ from a cascade c
+// realizing f: a NOT layer for the polarity bits, the gates of c with
+// wires renamed through the relabeling, and the NOT layer again. The
+// result has at most len(c.Gates) + 2·popcount(Polarity) gates; for the
+// identity transform it is a fresh gate-for-gate copy of c.
+func (t Transform) ConjugateCircuit(c *circuit.Circuit) (*circuit.Circuit, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if len(t.Wires) != c.Wires {
+		return nil, fmt.Errorf("canon: %d-wire transform applied to %d-wire circuit", len(t.Wires), c.Wires)
+	}
+	out := circuit.New(c.Wires)
+	appendNots := func() {
+		for w := 0; w < c.Wires; w++ {
+			if t.Polarity>>uint(w)&1 != 0 {
+				out.Append(circuit.Gate{Target: w})
+			}
+		}
+	}
+	appendNots()
+	for _, g := range c.Gates {
+		out.Append(circuit.Gate{
+			Target:   t.Wires[g.Target],
+			Controls: bits.Mask(scatter(uint32(g.Controls), t.Wires)),
+		})
+	}
+	appendNots()
+	return out, nil
+}
+
+// String renders the transform compactly, e.g. "[2 0 1]^5".
+func (t Transform) String() string {
+	return fmt.Sprintf("%v^%d", t.Wires, t.Polarity)
+}
+
+// Canonicalize maps p to its canonical class representative rep and a
+// transform t with rep = t∘p∘t⁻¹. For n ≤ ExactVars, rep is the exact
+// lexicographic minimum of the conjugation orbit (ties broken by
+// enumeration order, so the result is deterministic); above that it is a
+// deterministic greedy normalization (see the package comment for what
+// that weakens). The input must be a valid permutation on 1..32 variables.
+func Canonicalize(p perm.Perm) (perm.Perm, Transform, error) {
+	n := p.Vars()
+	if n < 1 || n > 32 {
+		return nil, Transform{}, fmt.Errorf("canon: %d-entry table is not a permutation on 1..32 variables", len(p))
+	}
+	if err := p.Validate(); err != nil {
+		return nil, Transform{}, err
+	}
+	if n <= ExactVars {
+		rep, t := canonExact(p, n)
+		return rep, t, nil
+	}
+	rep, t := canonGreedy(p, n)
+	return rep, t, nil
+}
+
+// canonExact scans all n!·2^n conjugates and keeps the smallest.
+func canonExact(p perm.Perm, n int) (perm.Perm, Transform) {
+	var best perm.Perm
+	var bestT Transform
+	wires := Identity(n).Wires
+	for {
+		for pol := uint32(0); pol < 1<<uint(n); pol++ {
+			t := Transform{Wires: wires, Polarity: pol}
+			q := t.Conjugate(p)
+			if best == nil || lexLess(q, best) {
+				best = q
+				bestT = Transform{Wires: append([]int(nil), wires...), Polarity: pol}
+			}
+		}
+		if !nextPermutation(wires) {
+			break
+		}
+	}
+	return best, bestT
+}
+
+// canonGreedy normalizes deterministically without scanning the orbit:
+// first the polarity that makes the smallest input map to the smallest
+// image (ties to the smaller polarity), then wires sorted by their output
+// truth-table columns. Both steps depend only on the function, so the
+// same permutation always normalizes identically; conjugates of it merely
+// *usually* do.
+func canonGreedy(p perm.Perm, n int) (perm.Perm, Transform) {
+	// Polarity choice: conjugating by X_c maps row c to p[c]^c at row 0,
+	// so pick the c whose image-of-zero is smallest.
+	bestC := uint32(0)
+	bestVal := p[0]
+	for c := uint32(1); c < uint32(len(p)); c++ {
+		if v := p[c] ^ c; v < bestVal {
+			bestC, bestVal = c, v
+		}
+	}
+	p1 := make(perm.Perm, len(p))
+	for x, y := range p {
+		p1[uint32(x)^bestC] = y ^ bestC
+	}
+	// Wire order: sort wires by their output columns of the de-polarized
+	// function, packed most-significant-input-first so the comparison is
+	// a plain lexicographic one. Ties keep the original wire order.
+	cols := make([][]uint64, n)
+	for w := 0; w < n; w++ {
+		col := make([]uint64, (len(p1)+63)/64)
+		for x, y := range p1 {
+			if y>>uint(w)&1 != 0 {
+				col[x/64] |= 1 << uint(63-x%64)
+			}
+		}
+		cols[w] = col
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ca, cb := cols[order[a]], cols[order[b]]
+		for i := range ca {
+			if ca[i] != cb[i] {
+				return ca[i] < cb[i]
+			}
+		}
+		return false
+	})
+	m := make([]int, n)
+	for pos, w := range order {
+		m[w] = pos
+	}
+	// As a function the normalization is R_m∘X_c, which in Transform
+	// form (relabel first, then flip) is {m, scatter(c, m)}.
+	t := Transform{Wires: m, Polarity: scatter(bestC, m)}
+	return t.Conjugate(p), t
+}
+
+// lexLess reports whether a < b lexicographically. Both must be the same
+// length.
+func lexLess(a, b perm.Perm) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// nextPermutation advances w to the next permutation in lexicographic
+// order, returning false (and leaving w sorted ascending) after the last.
+func nextPermutation(w []int) bool {
+	i := len(w) - 2
+	for i >= 0 && w[i] >= w[i+1] {
+		i--
+	}
+	if i < 0 {
+		sort.Ints(w)
+		return false
+	}
+	j := len(w) - 1
+	for w[j] <= w[i] {
+		j--
+	}
+	w[i], w[j] = w[j], w[i]
+	for l, r := i+1, len(w)-1; l < r; l, r = l+1, r-1 {
+		w[l], w[r] = w[r], w[l]
+	}
+	return true
+}
+
+// Hash returns a 64-bit FNV-1a hash of a canonical representative — the
+// class identifier the answer cache keys on. Collisions are possible in
+// principle, which is why cache entries store the representative itself
+// and compare it on lookup; the hash only names the bucket.
+func Hash(rep perm.Perm) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= prime
+	}
+	n := rep.Vars()
+	mix(byte(n))
+	for _, v := range rep {
+		mix(byte(v))
+		mix(byte(v >> 8))
+		mix(byte(v >> 16))
+		mix(byte(v >> 24))
+	}
+	return h
+}

@@ -1,0 +1,88 @@
+package core
+
+// Engine-side wiring of the canonical-form answer cache (internal/cache):
+// SynthesizeContext consults the cache before constructing a searcher and
+// offers every verified result back afterwards; the resume entry points
+// only offer (a resume must continue its checkpoint, not short-circuit
+// it). All policy — conjugation, re-verification, persistence — lives in
+// the cache package; this file only decides when to ask.
+
+import (
+	"repro/internal/cache"
+	"repro/internal/obs"
+	"repro/internal/perm"
+	"repro/internal/pprm"
+)
+
+// cacheProbe carries one request's cache identity (tabulated permutation,
+// options fingerprint, class hash) from the pre-search lookup to the
+// post-verification store so the canonicalization work is not repeated.
+type cacheProbe struct {
+	p     perm.Perm
+	fp    uint64
+	class uint64
+}
+
+// cacheProbeFor returns the probe for a cache-eligible request, nil when
+// the cache is off or the specification is too wide for it.
+func cacheProbeFor(spec *pprm.Spec, opts *Options) *cacheProbe {
+	if opts.Cache == nil || !cache.Cacheable(spec.N) {
+		return nil
+	}
+	return &cacheProbe{p: spec.ToPerm(), fp: optionsFingerprint(opts)}
+}
+
+// cacheLookup consults the answer cache. On a hit it returns a complete
+// Result — the derived circuit has already passed the independent
+// verification gate inside the cache (verify.StageCache), so it is
+// reported Verified with StopSolved and zero search counters. On a miss
+// the probe is returned for the post-synthesis store.
+func cacheLookup(spec *pprm.Spec, opts *Options) (Result, *cacheProbe, bool) {
+	probe := cacheProbeFor(spec, opts)
+	if probe == nil {
+		return Result{}, nil, false
+	}
+	hit, ok := opts.Cache.Lookup(probe.p, probe.fp)
+	probe.class = hit.Class
+	if !ok {
+		obs.IncCacheMiss()
+		return Result{}, probe, false
+	}
+	obs.IncCacheHit()
+	if hit.Derived {
+		obs.IncCacheDerive()
+	}
+	if o := opts.Observe; o != nil {
+		o.Begin(int64(opts.TotalSteps), opts.TimeLimit, opts.MaxMemory)
+		o.Solution(len(hit.Circuit.Gates), hit.Circuit.QuantumCost())
+		o.SetVerified(true)
+		o.Finish(StopSolved.String())
+	}
+	return Result{
+		Circuit:        hit.Circuit,
+		Found:          true,
+		StopReason:     StopSolved,
+		Verified:       true,
+		CacheHit:       true,
+		CanonicalClass: hit.Class,
+	}, probe, true
+}
+
+// cacheStore stamps the class on the result and offers it to the cache
+// when it is worth keeping: found, independently verified (which also
+// rules out SkipVerify runs — the gate never ran), and carrying a
+// circuit. A persistence failure only costs durability; the in-memory
+// entry stands and the result is returned unchanged.
+func cacheStore(probe *cacheProbe, opts *Options, res Result) Result {
+	if probe == nil {
+		return res
+	}
+	res.CanonicalClass = probe.class
+	if opts.Cache == nil || !res.Found || !res.Verified || res.Circuit == nil {
+		return res
+	}
+	if class, _, err := opts.Cache.Put(probe.p, probe.fp, res.Circuit); err == nil && class != 0 {
+		res.CanonicalClass = class
+	}
+	return res
+}

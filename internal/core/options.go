@@ -7,6 +7,7 @@ package core
 import (
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/circuit"
 	"repro/internal/obs"
 	"repro/internal/snapshot"
@@ -160,6 +161,20 @@ type Options struct {
 	// and ResumeContext.
 	Checkpoint Checkpoint
 
+	// Cache, when non-nil, consults the canonical-form answer cache
+	// (internal/cache) before searching: a request equivalent to a
+	// previously synthesized one — up to wire relabeling and polarity —
+	// is answered by conjugating the stored cascade, re-verified through
+	// the independent oracle, in place of a search. Verified results of
+	// cache-eligible width are stored back after synthesis. Like
+	// SkipVerify, the cache never changes what a search would compute, so
+	// it is excluded from OptionsFingerprint: toggling it neither
+	// invalidates checkpoints nor changes a job's identity. Resumed runs
+	// (ResumeContext) bypass the lookup — a resume must continue its
+	// checkpoint, not short-circuit it — but do store their verified
+	// result. SkipVerify results are never cached.
+	Cache *cache.Cache
+
 	// SkipVerify disables the always-on post-synthesis verification gate.
 	// By default every found circuit is re-simulated gate by gate by the
 	// independent internal/verify oracle against the input specification
@@ -181,6 +196,7 @@ type Options struct {
 func (o Options) Degraded() Options {
 	o.Dedup = false
 	o.SkipVerify = false
+	o.Cache = nil
 	return o
 }
 

@@ -499,7 +499,10 @@ func ResumeStateContext(ctx context.Context, spec *pprm.Spec, opts Options, st *
 		return Result{}, err
 	}
 	s.done = ctx.Done()
-	return verifyGate(spec, &opts, s.run()), nil
+	// A resume never short-circuits through the answer cache (the caller
+	// asked to continue this checkpoint), but its verified result is
+	// still offered back so later equivalent requests hit.
+	return cacheStore(cacheProbeFor(spec, &opts), &opts, verifyGate(spec, &opts, s.run())), nil
 }
 
 // ResumePermContext is ResumeContext for a function given as a permutation.

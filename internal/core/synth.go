@@ -64,6 +64,17 @@ type Result struct {
 	// including the final flush on a resumable stop. Zero when
 	// Options.Checkpoint is unset.
 	Checkpoints int
+	// CacheHit reports that the circuit came from the canonical-form
+	// answer cache (Options.Cache) — derived by conjugating a stored
+	// cascade and re-verified — rather than from a search. Steps, Nodes,
+	// and the other search counters are zero on a hit.
+	CacheHit bool
+	// CanonicalClass is the canonical-form class hash of the input
+	// specification (see internal/canon). Nonzero only when Options.Cache
+	// was consulted; equal classes mean the specifications are equivalent
+	// up to wire relabeling and polarity (exactly so for ≤3 variables,
+	// one-sidedly above).
+	CanonicalClass uint64
 	// Verified reports that the independent post-synthesis gate
 	// (internal/verify) re-simulated Circuit gate by gate and its
 	// permutation matches the input specification. False when no circuit
@@ -108,9 +119,13 @@ func SynthesizeContext(ctx context.Context, spec *pprm.Spec, opts Options) (res 
 			}
 		}
 	}()
+	hit, probe, ok := cacheLookup(spec, &opts)
+	if ok {
+		return hit
+	}
 	s := newSearcher(spec, opts)
 	s.done = ctx.Done()
-	return verifyGate(spec, &opts, s.run())
+	return cacheStore(probe, &opts, verifyGate(spec, &opts, s.run()))
 }
 
 // SynthesizePerm synthesizes a reversible function given as a permutation:

@@ -1,0 +1,170 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// permRequest is a small 3-variable workload the cache handles exactly.
+func permRequest(spec string) Request {
+	return Request{
+		Spec:   SpecInput{Perm: spec},
+		Budget: Budget{Steps: 2_000_000, TimeMillis: 55000},
+	}
+}
+
+func drainAll(t *testing.T, s *Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	s.Drain(ctx)
+}
+
+// TestCacheHitSurvivesRestart is the satellite-bugfix regression: a request
+// answered cold by a worker, the server restarted over the same state and
+// cache directories, and the same request re-submitted must be answered
+// from the persistent answer cache — registered as a real job under its
+// idempotency key with source "cache", a verified result, and exactly the
+// gates the cold run produced.
+func TestCacheHitSurvivesRestart(t *testing.T) {
+	stateDir, cacheDir := t.TempDir(), t.TempDir()
+	cfg := drainCfg(stateDir)
+	cfg.CacheDir = cacheDir
+	const spec = "{1, 0, 7, 2, 3, 4, 5, 6}"
+
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Start()
+	cold := admitDirect(t, a, permRequest(spec))
+	waitDone(t, cold)
+	if cold.Status() != StatusDone {
+		t.Fatalf("cold status = %s (error %q)", cold.Status(), cold.view(false).Error)
+	}
+	cv := cold.view(false)
+	if cv.Source != sourceWorker {
+		t.Fatalf("cold source = %q, want %q", cv.Source, sourceWorker)
+	}
+	if cv.Result == nil || !cv.Result.Found || cv.Result.CacheHit {
+		t.Fatalf("cold result = %+v, want a found non-cache result", cv.Result)
+	}
+	if cv.Result.CanonicalClass == "" {
+		t.Fatal("cold result missing canonical class (cache store did not run)")
+	}
+	if st := a.Stats(); st.CacheMisses != 1 || st.CacheHits != 0 {
+		t.Fatalf("cold stats = %+v, want exactly one cache miss", st)
+	}
+
+	// An identical submission while the job is still registered must
+	// deduplicate — the idempotency contract outranks the cache.
+	if _, deduped, err := func() (*Job, bool, error) {
+		req := permRequest(spec)
+		c, rerr := compileRequest(&req, a.cfg.Ceiling)
+		if rerr != nil {
+			t.Fatalf("compile: %v", rerr)
+		}
+		return a.admit(c, req)
+	}(); err != nil || !deduped {
+		t.Fatalf("same-session resubmit: deduped=%v err=%v, want dedup", deduped, err)
+	}
+	drainAll(t, a)
+
+	// Restart over the same directories: the job registry is empty (the
+	// cold job finished, so no ledger entry), but the cache is warm.
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Start()
+	defer drainAll(t, b)
+	warm := admitDirect(t, b, permRequest(spec))
+	if warm.Status() != StatusDone {
+		t.Fatalf("warm status = %s, want done at admission", warm.Status())
+	}
+	wv := warm.view(false)
+	if wv.Source != sourceCache {
+		t.Fatalf("warm source = %q, want %q", wv.Source, sourceCache)
+	}
+	if wv.Result == nil || !wv.Result.CacheHit {
+		t.Fatalf("warm result = %+v, want a cache hit", wv.Result)
+	}
+	if wv.Result.Verified == nil || !*wv.Result.Verified {
+		t.Fatal("warm result not verified")
+	}
+	if wv.Result.Circuit != cv.Result.Circuit || wv.Result.Gates != cv.Result.Gates {
+		t.Fatalf("warm circuit differs from cold:\nwarm: %s\ncold: %s", wv.Result.Circuit, cv.Result.Circuit)
+	}
+	if wv.Result.CanonicalClass != cv.Result.CanonicalClass {
+		t.Fatalf("class changed across restart: warm %s cold %s", wv.Result.CanonicalClass, cv.Result.CanonicalClass)
+	}
+	if wv.ID != cv.ID {
+		t.Fatalf("warm job ID %s != cold %s (idempotency key drifted)", wv.ID, cv.ID)
+	}
+	// The hit is a registered job: retrievable by ID like any other.
+	if got, ok := b.job(warm.ID()); !ok || got != warm {
+		t.Fatal("cache-served job not retrievable from the registry")
+	}
+	if st := b.Stats(); st.CacheHits != 1 || st.Submitted != 1 || st.Completed != 1 {
+		t.Fatalf("warm stats = %+v, want one cache-hit submission", st)
+	}
+}
+
+// TestCacheServesConjugateMember: a different member of the same canonical
+// class — the cold function with wires relabeled — must be answered from
+// the cache by conjugation, verified, without a worker run.
+func TestCacheServesConjugateMember(t *testing.T) {
+	cfg := drainCfg(t.TempDir())
+	cfg.CacheDir = t.TempDir()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer drainAll(t, s)
+
+	cold := admitDirect(t, s, permRequest("{1, 0, 7, 2, 3, 4, 5, 6}"))
+	waitDone(t, cold)
+	if cold.Status() != StatusDone || !cold.view(false).Result.Found {
+		t.Fatalf("cold run failed: %+v", cold.view(false))
+	}
+
+	// Swap wires 0<->2 of the cold spec: q[x] = T(p[T(x)]) for the
+	// self-inverse bit-swap T = {0,4,2,6,1,5,3,7}.
+	q := permRequest("{4, 6, 7, 5, 0, 1, 2, 3}")
+	warm := admitDirect(t, s, q)
+	if warm.Status() != StatusDone {
+		t.Fatalf("conjugate member status = %s, want done at admission", warm.Status())
+	}
+	wv := warm.view(false)
+	if wv.Source != sourceCache || wv.Result == nil || !wv.Result.CacheHit {
+		t.Fatalf("conjugate member not served from cache: %+v", wv)
+	}
+	if wv.Result.Verified == nil || !*wv.Result.Verified {
+		t.Fatal("derived result not verified")
+	}
+	if st := s.Stats(); st.CacheHits != 1 {
+		t.Fatalf("stats = %+v, want one cache hit", st)
+	}
+}
+
+// TestNoCacheConfiguredKeepsWorkerPath pins the default: without a cache
+// the admission path is untouched and results carry no cache fields.
+func TestNoCacheConfiguredKeepsWorkerPath(t *testing.T) {
+	s, err := New(drainCfg(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer drainAll(t, s)
+	j := admitDirect(t, s, permRequest("{1, 0, 7, 2, 3, 4, 5, 6}"))
+	waitDone(t, j)
+	v := j.view(false)
+	if v.Source != sourceWorker || v.Result.CacheHit || v.Result.CanonicalClass != "" {
+		t.Fatalf("no-cache job grew cache fields: %+v", v)
+	}
+	if st := s.Stats(); st.CacheHits != 0 || st.CacheMisses != 0 {
+		t.Fatalf("no-cache stats moved: %+v", st)
+	}
+}

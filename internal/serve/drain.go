@@ -188,35 +188,5 @@ func (s *Server) recover() error {
 // operation, and a crash leaves the previous ledger or the new one, never
 // a torn file.
 func writeFileAtomic(fs snapshot.FS, path string, data []byte) error {
-	if fs == nil {
-		fs = snapshot.DiskFS
-	}
-	dir := filepath.Dir(path)
-	f, err := fs.CreateTemp(dir, filepath.Base(path)+".tmp-*")
-	if err != nil {
-		return fmt.Errorf("create temp: %w", err)
-	}
-	tmp := f.Name()
-	if _, err := f.Write(data); err != nil {
-		f.Close()
-		fs.Remove(tmp)
-		return fmt.Errorf("write: %w", err)
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		fs.Remove(tmp)
-		return fmt.Errorf("sync: %w", err)
-	}
-	if err := f.Close(); err != nil {
-		fs.Remove(tmp)
-		return fmt.Errorf("close: %w", err)
-	}
-	if err := fs.Rename(tmp, path); err != nil {
-		fs.Remove(tmp)
-		return fmt.Errorf("rename: %w", err)
-	}
-	if err := fs.SyncDir(dir); err != nil {
-		return fmt.Errorf("sync dir: %w", err)
-	}
-	return nil
+	return snapshot.WriteRaw(fs, path, data)
 }

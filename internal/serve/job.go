@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
@@ -34,10 +35,11 @@ const (
 // of the idempotency key, so a retried submission finds its original job by
 // construction and a restarted server re-creates jobs under their old IDs.
 type Job struct {
-	id    string
-	key   uint64
-	class Class
-	req   Request // original request, persisted in the drain ledger
+	id     string
+	key    uint64
+	class  Class
+	req    Request // original request, persisted in the drain ledger
+	source string  // who produced the result: sourceWorker or sourceCache
 
 	spec   *pprm.Spec
 	fperm  perm.Perm
@@ -70,6 +72,7 @@ func newJob(c *compiled, req Request, now time.Time) *Job {
 		key:       c.key,
 		class:     c.class,
 		req:       req,
+		source:    sourceWorker,
 		spec:      c.spec,
 		fperm:     c.perm,
 		opts:      c.opts,
@@ -147,9 +150,12 @@ func (j *Job) finish(status JobStatus, res core.Result, verified *bool, errMsg s
 
 // JobView is the JSON shape of a job returned by the API.
 type JobView struct {
-	ID           string   `json:"id"`
-	Status       string   `json:"status"`
-	Class        string   `json:"class"`
+	ID     string `json:"id"`
+	Status string `json:"status"`
+	Class  string `json:"class"`
+	// Source says who produced the result: "worker" (a search ran) or
+	// "cache" (the canonical-form answer cache derived it at admission).
+	Source       string   `json:"source"`
 	Deduplicated bool     `json:"deduplicated,omitempty"`
 	Clamped      []string `json:"clamped,omitempty"`
 	Note         string   `json:"note,omitempty"`
@@ -180,6 +186,12 @@ type ResultView struct {
 	DedupHits   int64  `json:"dedup_hits,omitempty"`
 	DedupMisses int64  `json:"dedup_misses,omitempty"`
 	Verified    *bool  `json:"verified,omitempty"`
+	// CacheHit marks a result answered by the canonical-form cache; the
+	// circuit was derived by conjugation and re-verified, not searched.
+	CacheHit bool `json:"cache_hit,omitempty"`
+	// CanonicalClass is the function's canonical class hash (hex), set
+	// whenever the cache classified the request.
+	CanonicalClass string `json:"canonical_class,omitempty"`
 }
 
 // view snapshots the job for JSON rendering.
@@ -190,6 +202,7 @@ func (j *Job) view(deduplicated bool) JobView {
 		ID:           j.id,
 		Status:       string(j.status),
 		Class:        j.class.String(),
+		Source:       j.source,
 		Deduplicated: deduplicated,
 		Clamped:      j.clamps,
 		Note:         j.note,
@@ -216,6 +229,10 @@ func (j *Job) view(deduplicated bool) JobView {
 			DedupHits:   j.res.DedupHits,
 			DedupMisses: j.res.DedupMisses,
 			Verified:    j.verified,
+			CacheHit:    j.res.CacheHit,
+		}
+		if j.res.CanonicalClass != 0 {
+			r.CanonicalClass = fmt.Sprintf("%016x", j.res.CanonicalClass)
 		}
 		if j.res.Found && j.res.Circuit != nil {
 			r.Circuit = j.res.Circuit.String()

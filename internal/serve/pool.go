@@ -85,6 +85,7 @@ func (s *Server) execute(j *Job) {
 		v := true
 		verified = &v
 	}
+	s.cacheStore(j, &res)
 	s.stats.completed.Add(1)
 	j.finish(StatusDone, res, verified, "", time.Now())
 	s.removeCheckpoint(j)

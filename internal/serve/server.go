@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/snapshot"
 )
@@ -33,6 +34,17 @@ type Config struct {
 	// next start recovers. Empty disables drain persistence (jobs are
 	// simply canceled).
 	StateDir string
+	// CacheDir, when non-empty, enables the canonical-form answer cache
+	// (internal/cache) persisted under it: submissions whose class is
+	// already solved under the same options fingerprint are answered
+	// before they reach the queue, and every verified worker result is
+	// stored for the next restart. Empty disables the cache unless Cache
+	// is set directly.
+	CacheDir string
+	// Cache overrides the answer cache instance (tests, or sharing one
+	// cache across servers). nil with a CacheDir opens a persistent cache
+	// there; nil without one disables caching.
+	Cache *cache.Cache
 	// CheckpointInterval is the periodic checkpoint cadence for running
 	// jobs (default 30 s); the drain flush happens regardless.
 	CheckpointInterval time.Duration
@@ -95,6 +107,8 @@ type Stats struct {
 	Recovered      int64 `json:"recovered"`
 	VerifyFailures int64 `json:"verify_failures"`
 	DegradedReruns int64 `json:"degraded_reruns"`
+	CacheHits      int64 `json:"cache_hits"`
+	CacheMisses    int64 `json:"cache_misses"`
 }
 
 // Server is the synthesis service: bounded queue, worker pool, job
@@ -103,6 +117,7 @@ type Stats struct {
 type Server struct {
 	cfg   Config
 	queue *jobQueue
+	cache *cache.Cache // nil: caching disabled
 
 	mu    sync.Mutex
 	jobs  map[string]*Job // by ID (= idempotency key hex)
@@ -112,6 +127,7 @@ type Server struct {
 	stats   struct {
 		submitted, deduped, shed, completed, failed, interrupted, recovered atomic.Int64
 		verifyFailures, degradedReruns                                      atomic.Int64
+		cacheHits, cacheMisses                                              atomic.Int64
 	}
 
 	draining  atomic.Bool
@@ -134,8 +150,16 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:   c,
 		queue: newJobQueue(c.QueueInteractive, c.QueueBatch),
+		cache: c.Cache,
 		jobs:  make(map[string]*Job),
 		byKey: make(map[uint64]*Job),
+	}
+	if s.cache == nil && c.CacheDir != "" {
+		ac, err := cache.Open(c.CacheDir, c.FS)
+		if err != nil {
+			return nil, err
+		}
+		s.cache = ac
 	}
 	s.drainCtx, s.drainStop = context.WithCancel(context.Background())
 	if c.StateDir != "" {
@@ -170,6 +194,8 @@ func (s *Server) Stats() Stats {
 		Recovered:      s.stats.recovered.Load(),
 		VerifyFailures: s.stats.verifyFailures.Load(),
 		DegradedReruns: s.stats.degradedReruns.Load(),
+		CacheHits:      s.stats.cacheHits.Load(),
+		CacheMisses:    s.stats.cacheMisses.Load(),
 	}
 }
 
@@ -181,9 +207,35 @@ func (s *Server) job(id string) (*Job, bool) {
 	return j, ok
 }
 
-// admit registers and enqueues a compiled request, deduplicating by
-// idempotency key. Returns the job and whether it was deduplicated.
+// admit registers a compiled request, deduplicating by idempotency key.
+// A request whose canonical class is already in the answer cache is
+// registered as an already-finished job (source "cache") without touching
+// the queue; everything else is enqueued for the worker pool. Returns the
+// job and whether it was deduplicated.
 func (s *Server) admit(c *compiled, req Request) (*Job, bool, error) {
+	if existing, ok := s.dedup(c.key); ok {
+		return existing, true, nil
+	}
+
+	// Cache probe outside the registry lock: a hit conjugates and
+	// re-verifies the derived circuit by simulation, which should not
+	// serialize unrelated admissions.
+	if j := s.fromCache(c, req); j != nil {
+		s.mu.Lock()
+		if existing, ok := s.byKey[c.key]; ok && existing.Status() != StatusFailed {
+			// A concurrent identical submission won the registration race.
+			s.mu.Unlock()
+			s.stats.deduped.Add(1)
+			return existing, true, nil
+		}
+		s.jobs[j.id] = j
+		s.byKey[j.key] = j
+		s.mu.Unlock()
+		s.stats.submitted.Add(1)
+		s.stats.completed.Add(1)
+		return j, false, nil
+	}
+
 	s.mu.Lock()
 	if existing, ok := s.byKey[c.key]; ok && existing.Status() != StatusFailed {
 		s.mu.Unlock()
@@ -204,6 +256,17 @@ func (s *Server) admit(c *compiled, req Request) (*Job, bool, error) {
 	}
 	s.stats.submitted.Add(1)
 	return j, false, nil
+}
+
+// dedup returns the live job already registered under key, if any.
+func (s *Server) dedup(key uint64) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if existing, ok := s.byKey[key]; ok && existing.Status() != StatusFailed {
+		s.stats.deduped.Add(1)
+		return existing, true
+	}
+	return nil, false
 }
 
 // retryAfter computes the client back-off hint: the base grows with how

@@ -69,14 +69,26 @@ func WriteFile(fs FS, path string, st *State) error {
 // growing snapshot mirrors a growing frontier, and sudden size jumps often
 // explain checkpoint latency). The size is returned on success only.
 func WriteFileN(fs FS, path string, st *State) (int64, error) {
+	data := Encode(st)
+	if err := WriteRaw(fs, path, data); err != nil {
+		return 0, err
+	}
+	return int64(len(data)), nil
+}
+
+// WriteRaw atomically replaces path with data using the same
+// temp-file+fsync+rename protocol as WriteFile. It is the byte-level seam
+// the other durable artifacts in the tree (the service's drain ledger, the
+// answer cache's entries) share, so one crash-enumerated write path covers
+// them all.
+func WriteRaw(fs FS, path string, data []byte) error {
 	if fs == nil {
 		fs = DiskFS
 	}
-	data := Encode(st)
 	dir := filepath.Dir(path)
 	f, err := fs.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
-		return 0, fmt.Errorf("snapshot: create temp: %w", err)
+		return fmt.Errorf("snapshot: create temp: %w", err)
 	}
 	tmp := f.Name()
 	fail := func(stage string, err error) error {
@@ -85,23 +97,23 @@ func WriteFileN(fs FS, path string, st *State) (int64, error) {
 		return fmt.Errorf("snapshot: %s: %w", stage, err)
 	}
 	if _, err := f.Write(data); err != nil {
-		return 0, fail("write", err)
+		return fail("write", err)
 	}
 	if err := f.Sync(); err != nil {
-		return 0, fail("sync", err)
+		return fail("sync", err)
 	}
 	if err := f.Close(); err != nil {
 		fs.Remove(tmp)
-		return 0, fmt.Errorf("snapshot: close: %w", err)
+		return fmt.Errorf("snapshot: close: %w", err)
 	}
 	if err := fs.Rename(tmp, path); err != nil {
 		fs.Remove(tmp)
-		return 0, fmt.Errorf("snapshot: rename: %w", err)
+		return fmt.Errorf("snapshot: rename: %w", err)
 	}
 	if err := fs.SyncDir(dir); err != nil {
-		return 0, fmt.Errorf("snapshot: sync dir: %w", err)
+		return fmt.Errorf("snapshot: sync dir: %w", err)
 	}
-	return int64(len(data)), nil
+	return nil
 }
 
 // ReadFile loads and decodes a snapshot. A missing file surfaces as an

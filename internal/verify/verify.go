@@ -54,6 +54,12 @@ const (
 	StageDecomp Stage = "decomp"
 	// StageClient: a client-side re-check of a served result (loadgen).
 	StageClient Stage = "client"
+	// StageCache: a circuit derived from the answer cache by conjugating
+	// a stored cascade with a relabeling/polarity transform
+	// (internal/cache). Every cache hit passes this gate before it is
+	// returned, so a poisoned or mis-derived entry surfaces as a miss,
+	// never as a wrong circuit.
+	StageCache Stage = "cache"
 	// StageEmbed: the don't-care-aware check of an embedded PLA result
 	// against the original partial specification.
 	StageEmbed Stage = "embedding"

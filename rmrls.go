@@ -5,6 +5,8 @@ import (
 	"fmt"
 
 	"repro/internal/bench"
+	"repro/internal/cache"
+	"repro/internal/canon"
 	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/decomp"
@@ -47,6 +49,12 @@ type (
 	Embedding = tt.Embedding
 	// Benchmark is one entry of the paper's benchmark suite.
 	Benchmark = bench.Benchmark
+	// Cache is the canonical-form answer cache (Options.Cache): solved
+	// classes answer repeated or relabeled requests by conjugation
+	// instead of a search. See docs/CACHING.md.
+	Cache = cache.Cache
+	// CacheStats is a snapshot of a Cache's counters.
+	CacheStats = cache.Stats
 )
 
 // Admission modes (see core.Admission).
@@ -141,6 +149,27 @@ func ResumeSpecContext(ctx context.Context, s *Spec, opts Options, path string) 
 
 // Verify checks that a circuit realizes the function p.
 func Verify(c *Circuit, p Perm) error { return core.Verify(c, p) }
+
+// NewCache returns a memory-only answer cache for Options.Cache.
+func NewCache() *Cache { return cache.New() }
+
+// OpenCache returns an answer cache persisted under dir (created if
+// needed), so solved classes survive process restarts. An empty dir is
+// memory-only.
+func OpenCache(dir string) (*Cache, error) { return cache.Open(dir, nil) }
+
+// CanonicalClass returns the canonical-form class hash of a reversible
+// function: two functions share it exactly when one is the other with
+// inputs/outputs relabeled and polarities flipped (guaranteed for n ≤ 3;
+// a sound deterministic under-approximation above — equal hashes are
+// still only ever assigned within one class).
+func CanonicalClass(p Perm) (uint64, error) {
+	rep, _, err := canon.Canonicalize(p)
+	if err != nil {
+		return 0, err
+	}
+	return canon.Hash(rep), nil
+}
 
 // ParseSpec parses a permutation specification in the paper's notation,
 // e.g. "{1, 0, 7, 2, 3, 4, 5, 6}".

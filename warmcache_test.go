@@ -1,0 +1,104 @@
+package rmrls
+
+import (
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/rng"
+)
+
+// TestWarmCacheRD53 is the acceptance check of the answer cache on the
+// headline benchmark: a warm-cache rd53 request is answered as a verified
+// cache hit with exactly the gates cold synthesis produces, and the cold
+// path itself is unchanged by the cache being attached.
+func TestWarmCacheRD53(t *testing.T) {
+	b, err := BenchmarkByName("rd53")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.TotalSteps = 200000
+	opts.TimeLimit = 0
+
+	cold, err := Synthesize(b.Spec, opts)
+	if err != nil || !cold.Found || !cold.Verified {
+		t.Fatalf("cold rd53: err=%v res=%+v", err, cold)
+	}
+	if cold.CacheHit || cold.CanonicalClass != 0 {
+		t.Fatalf("cold run without a cache grew cache fields: %+v", cold)
+	}
+
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Cache = c
+	first, err := Synthesize(b.Spec, opts)
+	if err != nil || !first.Found {
+		t.Fatalf("first cached rd53: err=%v res=%+v", err, first)
+	}
+	if first.CacheHit {
+		t.Fatal("first run through an empty cache reported a hit")
+	}
+	if first.Circuit.String() != cold.Circuit.String() {
+		t.Fatalf("attaching a cache changed the cold search:\nwith: %s\nwithout: %s", first.Circuit, cold.Circuit)
+	}
+
+	second, err := Synthesize(b.Spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.CacheHit || !second.Verified || second.StopReason != StopSolved {
+		t.Fatalf("warm rd53 not a verified cache hit: %+v", second)
+	}
+	if second.CanonicalClass == 0 {
+		t.Fatal("warm hit missing canonical class")
+	}
+	if second.Circuit.String() != cold.Circuit.String() {
+		t.Fatalf("warm circuit differs from cold synthesis:\nwarm: %s\ncold: %s", second.Circuit, cold.Circuit)
+	}
+	if s := c.Stats(); s.Hits != 1 || s.Misses != 1 || s.Stores != 1 {
+		t.Fatalf("cache stats = %+v, want one miss-store-hit cycle", s)
+	}
+}
+
+// TestWarmCacheThreeVariableSample re-runs a seeded sample of 3-variable
+// functions through a warm cache: the second request of each function must
+// be a verified hit with gates identical to its own cold synthesis (the
+// identity-conjugation guarantee of the exact classifier). Functions the
+// default budget cannot solve are skipped — the exhaustive class-coverage
+// test in internal/cache handles every function via the MMD baseline.
+func TestWarmCacheThreeVariableSample(t *testing.T) {
+	src := rng.New(11)
+	opts := DefaultOptions()
+	opts.TimeLimit = 0
+	solved := 0
+	for trial := 0; trial < 40; trial++ {
+		p := circuit.Random(3, 2+src.Intn(8), GT, src).Perm()
+		cold, err := Synthesize(p, opts)
+		if err != nil || !cold.Found {
+			continue
+		}
+		solved++
+		c := NewCache()
+		warmOpts := opts
+		warmOpts.Cache = c
+		if first, err := Synthesize(p, warmOpts); err != nil || first.CacheHit {
+			t.Fatalf("trial %d: first run err=%v hit=%v", trial, err, first.CacheHit)
+		}
+		second, err := Synthesize(p, warmOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !second.CacheHit || !second.Verified {
+			t.Fatalf("trial %d: warm request not a verified hit: %+v", trial, second)
+		}
+		if second.Circuit.String() != cold.Circuit.String() {
+			t.Fatalf("trial %d: warm gates differ from cold synthesis:\nwarm: %s\ncold: %s",
+				trial, second.Circuit, cold.Circuit)
+		}
+	}
+	if solved < 30 {
+		t.Fatalf("only %d/40 sampled functions solved cold — sample too weak to mean anything", solved)
+	}
+}
