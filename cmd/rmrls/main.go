@@ -168,10 +168,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if *cacheDir != "" {
 		ac, err := cache.Open(*cacheDir, nil)
 		if err != nil {
-			fmt.Fprintln(stderr, "rmrls:", err)
-			return 1
+			// The cache is an accelerator, not a dependency: an unusable
+			// directory sheds the feature and the synthesis proceeds.
+			fmt.Fprintf(stdout, "# cache: disabled (%v)\n", err)
+		} else {
+			opts.Cache = ac
 		}
-		opts.Cache = ac
 	}
 	if *ckptPath != "" {
 		opts.Checkpoint = core.Checkpoint{

@@ -12,9 +12,15 @@
 //	POST /v1/jobs            submit a synthesis job (idempotent; ?wait blocks)
 //	GET  /v1/jobs/{id}        job status and result
 //	GET  /v1/jobs/{id}/stream JSON-lines progress until the job finishes
-//	GET  /v1/healthz          liveness, queue depths, counters
+//	GET  /v1/healthz          liveness, queue depths, counters, fault domains
+//	GET  /v1/readyz           readiness (503 while draining or a -required
+//	                          fault domain is open)
 //
 // A full queue sheds with 429 + Retry-After; nothing queues unboundedly.
+// Persistent I/O faults in the optional dependencies (answer cache,
+// checkpoints, ledger, quarantine) trip per-domain circuit breakers and
+// shed the feature, never the job — see docs/OPERATIONS.md, "Degraded
+// modes".
 // On SIGTERM/SIGINT the server stops intake (503), cancels running
 // searches — each flushes a crash-safe checkpoint into -state — and writes
 // a ledger of unfinished jobs; the next start resumes them exactly where
@@ -29,12 +35,15 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/serve"
+	"repro/internal/snapshot"
 )
 
 func main() {
@@ -66,6 +75,11 @@ func run(args []string, sig chan os.Signal, stdout, stderr io.Writer) int {
 		drainTimeout = fs.Duration("drain-timeout", 2*time.Minute, "how long a shutdown waits for running jobs to checkpoint")
 		retryAfter   = fs.Duration("retry-after", time.Second, "base Retry-After hint on shed and drain responses")
 		metricsAddr  = fs.String("metrics-addr", "", "also serve /debug/vars and /debug/pprof on this host:port")
+
+		rateLimit = fs.Float64("rate-limit", 0, "per-client submit rate (jobs/s, keyed by X-Client-ID else remote host; 0 disables)")
+		rateBurst = fs.Int("rate-burst", 0, "per-client submit burst (0 = one second's worth plus one)")
+		required  = fs.String("required", "", "comma-separated fault domains whose outage fails /v1/readyz (from: cache, checkpoint, ledger, quarantine)")
+		chaosSpec = fs.String("chaos", "", "TESTING ONLY: in-process fault schedule, e.g. \"+2s fail cache enospc; +10s heal cache\" (prefixes cache/state map to -cache-dir/-state)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 1
@@ -73,6 +87,52 @@ func run(args []string, sig chan os.Signal, stdout, stderr io.Writer) int {
 	if fs.NArg() != 0 {
 		fmt.Fprintln(stderr, "rmrlsd: unexpected arguments:", fs.Args())
 		return 1
+	}
+
+	var requiredDomains []string
+	if *required != "" {
+		known := make(map[string]bool)
+		for _, d := range serve.DomainNames() {
+			known[d] = true
+		}
+		for _, d := range strings.Split(*required, ",") {
+			d = strings.TrimSpace(d)
+			if d == "" {
+				continue
+			}
+			if !known[d] {
+				fmt.Fprintf(stderr, "rmrlsd: unknown fault domain %q (want one of %s)\n",
+					d, strings.Join(serve.DomainNames(), ", "))
+				return 1
+			}
+			requiredDomains = append(requiredDomains, d)
+		}
+	}
+
+	// The chaos layer sits under the whole FS seam: every checkpoint,
+	// ledger, cache, and quarantine write of this process goes through it,
+	// so a schedule exercises the same degradation paths a real sick disk
+	// would. Symbolic prefixes map to the configured directories.
+	var serveFS snapshot.FS
+	var chaosSched chaos.Schedule
+	var chaosFS *chaos.FS
+	if *chaosSpec != "" {
+		sched, err := chaos.ParseSchedule(*chaosSpec)
+		if err != nil {
+			fmt.Fprintln(stderr, "rmrlsd:", err)
+			return 1
+		}
+		names := map[string]string{}
+		if *cacheDir != "" {
+			names["cache"] = *cacheDir
+		}
+		if *stateDir != "" {
+			names["state"] = *stateDir
+		}
+		chaosFS = chaos.New(nil)
+		chaosSched = sched.Rewrite(names)
+		serveFS = chaosFS
+		fmt.Fprintf(stderr, "rmrlsd: CHAOS MODE: %d fault event(s) scheduled\n", len(chaosSched))
 	}
 
 	srv, err := serve.New(serve.Config{
@@ -89,10 +149,23 @@ func run(args []string, sig chan os.Signal, stdout, stderr io.Writer) int {
 		CacheDir:           *cacheDir,
 		CheckpointInterval: *ckptEvery,
 		RetryAfter:         *retryAfter,
+		FS:                 serveFS,
+		RequiredDomains:    requiredDomains,
+		RateLimit:          *rateLimit,
+		RateBurst:          *rateBurst,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(stderr, "rmrlsd: "+format+"\n", args...)
+		},
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, "rmrlsd:", err)
 		return 1
+	}
+	if len(chaosSched) > 0 {
+		stopChaos := chaosSched.Run(chaosFS, func(ev chaos.Event) {
+			fmt.Fprintln(stderr, "rmrlsd: chaos:", ev)
+		})
+		defer stopChaos()
 	}
 	for _, note := range srv.RecoveryNotes() {
 		fmt.Fprintln(stderr, "rmrlsd: recovery:", note)

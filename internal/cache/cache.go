@@ -61,6 +61,10 @@ type Stats struct {
 	// VerifyRejected counts entries dropped because the derived circuit
 	// failed the verification gate.
 	VerifyRejected int64
+	// DiskShed counts disk operations skipped because the guard reported
+	// the cache-store fault domain open (lookups served memory-only,
+	// stores kept in memory without persistence).
+	DiskShed int64
 }
 
 type key struct {
@@ -73,16 +77,31 @@ type entry struct {
 	circ *circuit.Circuit
 }
 
+// Guard gates the cache's disk traffic for fault-domain supervision.
+// When Allow returns false the cache skips the disk entirely — lookups
+// fall back to memory, stores keep only the in-memory entry — and no
+// error surfaces to the caller: the feature is shed, the job proceeds.
+// Every disk outcome is reported through Record so the guard can trip on
+// persistent faults and heal on a successful probe.
+// *health.Breaker satisfies Guard directly.
+type Guard interface {
+	Allow() bool
+	Record(err error)
+}
+
 // Cache is safe for concurrent use.
 type Cache struct {
 	dir string // "" = memory-only
 	fs  snapshot.FS
+
+	guard Guard // nil = disk always allowed
 
 	mu  sync.Mutex
 	mem map[key]*entry
 
 	hits, misses, derives, stores atomic.Int64
 	corrupt, rejected             atomic.Int64
+	shed                          atomic.Int64
 }
 
 // New returns a memory-only cache (no persistence).
@@ -126,6 +145,28 @@ func (c *Cache) Stats() Stats {
 		Stores:         c.stores.Load(),
 		CorruptDropped: c.corrupt.Load(),
 		VerifyRejected: c.rejected.Load(),
+		DiskShed:       c.shed.Load(),
+	}
+}
+
+// SetGuard installs the fault-domain guard for the cache's disk traffic.
+// A nil guard (the default) means the disk is always allowed. Call before
+// the cache is shared between goroutines.
+func (c *Cache) SetGuard(g Guard) { c.guard = g }
+
+// diskAllowed consults the guard before touching the persistence dir.
+func (c *Cache) diskAllowed() bool {
+	if c.guard == nil || c.guard.Allow() {
+		return true
+	}
+	c.shed.Add(1)
+	return false
+}
+
+// record reports one disk outcome to the guard, if any.
+func (c *Cache) record(err error) {
+	if c.guard != nil {
+		c.guard.Record(err)
 	}
 }
 
@@ -226,10 +267,17 @@ func (c *Cache) Put(p perm.Perm, fp uint64, circ *circuit.Circuit) (uint64, bool
 	if c.dir == "" {
 		return k.class, true, nil
 	}
+	if !c.diskAllowed() {
+		// Cache-store domain open: the entry stands in memory and the
+		// store is transparently non-durable — no error, no syscall.
+		return k.class, true, nil
+	}
 	if err := snapshot.WriteRaw(c.fs, c.path(k), encodeEntry(e)); err != nil {
 		// The in-memory entry stands; only durability failed.
+		c.record(err)
 		return k.class, true, fmt.Errorf("cache: persist: %w", err)
 	}
+	c.record(nil)
 	return k.class, true, nil
 }
 
@@ -255,15 +303,32 @@ func (c *Cache) loadLocked(k key) *entry {
 	if c.dir == "" {
 		return nil
 	}
-	data, err := os.ReadFile(c.path(k))
+	if !c.diskAllowed() {
+		// Cache-store domain open: a memory miss is a miss; the job
+		// synthesizes from scratch instead of waiting on a sick disk.
+		return nil
+	}
+	fsys := c.fs
+	if fsys == nil {
+		fsys = snapshot.DiskFS
+	}
+	data, err := fsys.ReadFile(c.path(k))
 	if err != nil {
 		if !errors.Is(err, fs.ErrNotExist) {
+			c.record(err)
 			c.corrupt.Add(1)
+		} else {
+			// "No entry" is a healthy answer from the device.
+			c.record(nil)
 		}
 		return nil
 	}
+	c.record(nil)
 	e, err := decodeEntry(data)
 	if err != nil {
+		// Corrupt bytes, but the device delivered them fine — an
+		// integrity problem, not an availability one: drop the file,
+		// leave the fault domain alone.
 		c.corrupt.Add(1)
 		c.removeFile(k)
 		return nil

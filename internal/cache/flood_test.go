@@ -1,0 +1,90 @@
+package cache_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/circuit"
+	"repro/internal/perm"
+	"repro/internal/rng"
+)
+
+// TestCorruptFloodDroppedOnceCacheUsable floods the persistence directory
+// with corrupt-beyond-CRC entries at real keys and checks the degraded
+// behavior end to end: every lookup is a clean miss (never an error, never
+// a wrong circuit), each bad file is removed on first touch and counted
+// exactly once, and the cache stays fully usable — fresh stores land and
+// serve from the same directory throughout.
+func TestCorruptFloodDroppedOnceCacheUsable(t *testing.T) {
+	dir := t.TempDir()
+	writer, err := cache.Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(42)
+	type spec struct {
+		p perm.Perm
+		c *circuit.Circuit
+	}
+	var specs []spec
+	for len(specs) < 8 {
+		c, p := randomSpec(3, 2+src.Intn(6), src)
+		if _, stored, err := writer.Put(p, fpA, c); err != nil {
+			t.Fatal(err)
+		} else if stored {
+			specs = append(specs, spec{p: p, c: c})
+		}
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.rmce"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("setup: %d entry files (%v)", len(files), err)
+	}
+	// Corrupt every file past any CRC's help: truncated garbage with the
+	// right extension at the right key.
+	for _, f := range files {
+		if err := os.WriteFile(f, []byte("\x00\xffnot an entry"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	c, err := cache.Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sp := range specs {
+		if _, ok := c.Lookup(sp.p, fpA); ok {
+			t.Fatalf("spec %d: corrupt entry served as a hit", i)
+		}
+	}
+	st := c.Stats()
+	if st.CorruptDropped != int64(len(files)) {
+		t.Fatalf("CorruptDropped = %d, want %d (one per flooded file)", st.CorruptDropped, len(files))
+	}
+	if left, _ := filepath.Glob(filepath.Join(dir, "*.rmce")); len(left) != 0 {
+		t.Fatalf("%d corrupt files survived their first touch", len(left))
+	}
+
+	// Second pass: the files are gone, so nothing is "corrupt" anymore —
+	// plain misses, the counter must not move again.
+	for _, sp := range specs {
+		c.Lookup(sp.p, fpA)
+	}
+	if again := c.Stats().CorruptDropped; again != st.CorruptDropped {
+		t.Fatalf("CorruptDropped moved on the second pass: %d → %d", st.CorruptDropped, again)
+	}
+
+	// The cache is still fully usable: store, persist, and serve.
+	for _, sp := range specs {
+		if _, _, err := c.Put(sp.p, fpA, sp.c); err != nil {
+			t.Fatalf("Put after flood: %v", err)
+		}
+		if _, ok := c.Lookup(sp.p, fpA); !ok {
+			t.Fatal("fresh entry missed after flood")
+		}
+	}
+	if repersisted, _ := filepath.Glob(filepath.Join(dir, "*.rmce")); len(repersisted) != len(files) {
+		t.Fatalf("re-persisted %d files, want %d", len(repersisted), len(files))
+	}
+}

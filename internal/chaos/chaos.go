@@ -1,0 +1,284 @@
+// Package chaos is a persistent-fault filesystem for proving graceful
+// degradation. Where faultfs simulates one crash (every operation after
+// the crash point fails, modelling a dead process), chaos models a *sick
+// device that stays up*: operations under a faulted path prefix keep
+// failing with a realistic errno — ENOSPC, EIO, EROFS — until the fault
+// is healed, and optionally take extra latency. That is exactly the
+// environment the health supervisor is built for: the process keeps
+// serving jobs while the breaker sheds the feature, then re-closes once
+// the fault clears.
+//
+// Faults are keyed by path prefix so one FS can serve a whole state
+// directory with the cache subtree on a "full disk" while checkpoints
+// stay healthy. Faults are injected programmatically (Fail/Heal) or by a
+// timed Schedule — a CLI-parsable script like
+//
+//	+2s fail /var/cache enospc; +10s heal /var/cache
+//
+// that rmrlsd replays in-process for end-to-end chaos runs.
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/snapshot"
+)
+
+// Mode selects which errno a faulted prefix returns and which operations
+// it affects.
+type Mode int
+
+const (
+	// ENOSPC: writes fail with "no space left on device"; reads still work
+	// (a full disk serves existing bytes fine).
+	ENOSPC Mode = iota
+	// EIO: every operation fails with "input/output error" — a dying
+	// device, reads included.
+	EIO
+	// EROFS: writes and removes fail with "read-only file system"; reads
+	// still work. What a kernel remount-ro after an error looks like.
+	EROFS
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ENOSPC:
+		return "enospc"
+	case EIO:
+		return "eio"
+	case EROFS:
+		return "rofs"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// ParseMode parses the CLI spelling of a fault mode.
+func ParseMode(s string) (Mode, error) {
+	switch strings.ToLower(s) {
+	case "enospc", "full":
+		return ENOSPC, nil
+	case "eio", "io":
+		return EIO, nil
+	case "rofs", "erofs", "ro":
+		return EROFS, nil
+	}
+	return 0, fmt.Errorf("chaos: unknown fault mode %q (want enospc, eio, or rofs)", s)
+}
+
+func (m Mode) errno() error {
+	switch m {
+	case ENOSPC:
+		return syscall.ENOSPC
+	case EROFS:
+		return syscall.EROFS
+	default:
+		return syscall.EIO
+	}
+}
+
+// failsReads reports whether the mode breaks the read path too.
+func (m Mode) failsReads() bool { return m == EIO }
+
+type fault struct {
+	prefix string
+	mode   Mode
+}
+
+// FS wraps an inner snapshot.FS with persistent per-path-prefix faults.
+// The zero value is unusable; use New. Safe for concurrent use.
+type FS struct {
+	inner snapshot.FS
+
+	mu      sync.Mutex
+	faults  []fault // longest-prefix match wins
+	latency time.Duration
+
+	writeErrs, readErrs int64
+}
+
+// New wraps inner (nil: the real disk) with no faults active.
+func New(inner snapshot.FS) *FS {
+	if inner == nil {
+		inner = snapshot.DiskFS
+	}
+	return &FS{inner: inner}
+}
+
+// Fail makes every operation under prefix fault with mode until Heal.
+// Re-failing an already-faulted prefix replaces its mode.
+func (f *FS) Fail(prefix string, mode Mode) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i := range f.faults {
+		if f.faults[i].prefix == prefix {
+			f.faults[i].mode = mode
+			return
+		}
+	}
+	f.faults = append(f.faults, fault{prefix: prefix, mode: mode})
+	// Longest prefix first so nested faults shadow outer ones.
+	sort.SliceStable(f.faults, func(i, j int) bool {
+		return len(f.faults[i].prefix) > len(f.faults[j].prefix)
+	})
+}
+
+// Heal clears the fault on prefix. Healing a healthy prefix is a no-op.
+func (f *FS) Heal(prefix string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i := range f.faults {
+		if f.faults[i].prefix == prefix {
+			f.faults = append(f.faults[:i], f.faults[i+1:]...)
+			return
+		}
+	}
+}
+
+// HealAll clears every fault.
+func (f *FS) HealAll() {
+	f.mu.Lock()
+	f.faults = nil
+	f.mu.Unlock()
+}
+
+// SetLatency adds a fixed delay to every operation (faulted or not) —
+// a slow device rather than a broken one. Zero disables.
+func (f *FS) SetLatency(d time.Duration) {
+	f.mu.Lock()
+	f.latency = d
+	f.mu.Unlock()
+}
+
+// InjectedErrors reports how many operations failed by injection
+// (writes+removes, reads).
+func (f *FS) InjectedErrors() (writes, reads int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.writeErrs, f.readErrs
+}
+
+// check consults the fault table for one operation on path. write says
+// whether the operation mutates the device.
+func (f *FS) check(path string, write bool) error {
+	f.mu.Lock()
+	lat := f.latency
+	var ferr error
+	for _, fa := range f.faults {
+		if strings.HasPrefix(path, fa.prefix) {
+			if write || fa.mode.failsReads() {
+				ferr = fa.mode.errno()
+				if write {
+					f.writeErrs++
+				} else {
+					f.readErrs++
+				}
+			}
+			break
+		}
+	}
+	f.mu.Unlock()
+	if lat > 0 {
+		time.Sleep(lat)
+	}
+	return ferr
+}
+
+func (f *FS) CreateTemp(dir, pattern string) (snapshot.File, error) {
+	if err := f.check(dir, true); err != nil {
+		return nil, &pathError{"createtemp", dir, err}
+	}
+	file, err := f.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &chaosFile{fs: f, inner: file}, nil
+}
+
+func (f *FS) Rename(oldpath, newpath string) error {
+	if err := f.check(newpath, true); err != nil {
+		return &pathError{"rename", newpath, err}
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FS) Remove(name string) error {
+	// ENOSPC does not break unlink — removing files is how a full disk
+	// gets fixed. EROFS and EIO do.
+	f.mu.Lock()
+	var ferr error
+	for _, fa := range f.faults {
+		if strings.HasPrefix(name, fa.prefix) {
+			if fa.mode != ENOSPC {
+				ferr = fa.mode.errno()
+				f.writeErrs++
+			}
+			break
+		}
+	}
+	lat := f.latency
+	f.mu.Unlock()
+	if lat > 0 {
+		time.Sleep(lat)
+	}
+	if ferr != nil {
+		return &pathError{"remove", name, ferr}
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *FS) SyncDir(dir string) error {
+	if err := f.check(dir, true); err != nil {
+		return &pathError{"syncdir", dir, err}
+	}
+	return f.inner.SyncDir(dir)
+}
+
+func (f *FS) ReadFile(name string) ([]byte, error) {
+	if err := f.check(name, false); err != nil {
+		return nil, &pathError{"readfile", name, err}
+	}
+	return f.inner.ReadFile(name)
+}
+
+// pathError mirrors the shape of os.PathError so injected errors print
+// and unwrap like real ones (errors.Is(err, syscall.ENOSPC) works).
+type pathError struct {
+	op   string
+	path string
+	err  error
+}
+
+func (e *pathError) Error() string { return "chaos: " + e.op + " " + e.path + ": " + e.err.Error() }
+func (e *pathError) Unwrap() error { return e.err }
+
+type chaosFile struct {
+	fs    *FS
+	inner snapshot.File
+}
+
+func (f *chaosFile) Name() string { return f.inner.Name() }
+
+func (f *chaosFile) Write(p []byte) (int, error) {
+	if err := f.fs.check(f.inner.Name(), true); err != nil {
+		return 0, &pathError{"write", f.inner.Name(), err}
+	}
+	return f.inner.Write(p)
+}
+
+func (f *chaosFile) Sync() error {
+	if err := f.fs.check(f.inner.Name(), true); err != nil {
+		return &pathError{"sync", f.inner.Name(), err}
+	}
+	return f.inner.Sync()
+}
+
+func (f *chaosFile) Close() error {
+	// Close always reaches the device: leaking descriptors because the
+	// disk is full would turn one fault into two.
+	return f.inner.Close()
+}

@@ -1,0 +1,128 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Event is one step of a fault schedule: at offset After from the start
+// of the run, fail or heal a path prefix.
+type Event struct {
+	After  time.Duration
+	Heal   bool // false: fail with Mode
+	Prefix string
+	Mode   Mode
+}
+
+func (e Event) String() string {
+	if e.Heal {
+		return fmt.Sprintf("+%v heal %s", e.After, e.Prefix)
+	}
+	return fmt.Sprintf("+%v fail %s %v", e.After, e.Prefix, e.Mode)
+}
+
+// Schedule is an ordered fault script.
+type Schedule []Event
+
+// ParseSchedule parses the CLI spelling of a fault script: semicolon- or
+// comma-separated events, each
+//
+//	+<dur> fail <prefix> <mode>
+//	+<dur> heal <prefix>
+//
+// e.g. "+2s fail cache enospc; +8s heal cache; +10s fail state eio".
+// The leading '+' on the duration is optional. Prefixes are opaque
+// strings here; the caller may map symbolic names (cache, state) to real
+// directories before arming the schedule.
+func ParseSchedule(s string) (Schedule, error) {
+	var sched Schedule
+	for _, raw := range strings.FieldsFunc(s, func(r rune) bool { return r == ';' || r == ',' }) {
+		fields := strings.Fields(raw)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("chaos: bad event %q (want \"+<dur> fail <prefix> <mode>\" or \"+<dur> heal <prefix>\")", strings.TrimSpace(raw))
+		}
+		after, err := time.ParseDuration(strings.TrimPrefix(fields[0], "+"))
+		if err != nil {
+			return nil, fmt.Errorf("chaos: bad event %q: %v", strings.TrimSpace(raw), err)
+		}
+		if after < 0 {
+			return nil, fmt.Errorf("chaos: bad event %q: negative offset", strings.TrimSpace(raw))
+		}
+		ev := Event{After: after, Prefix: fields[2]}
+		switch strings.ToLower(fields[1]) {
+		case "heal":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("chaos: bad event %q: heal takes no mode", strings.TrimSpace(raw))
+			}
+			ev.Heal = true
+		case "fail":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("chaos: bad event %q: fail needs a mode", strings.TrimSpace(raw))
+			}
+			ev.Mode, err = ParseMode(fields[3])
+			if err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("chaos: bad event %q: unknown verb %q", strings.TrimSpace(raw), fields[1])
+		}
+		sched = append(sched, ev)
+	}
+	sort.SliceStable(sched, func(i, j int) bool { return sched[i].After < sched[j].After })
+	return sched, nil
+}
+
+// Rewrite maps symbolic prefixes to concrete paths (e.g. "cache" →
+// "/var/lib/rmrlsd/cache"). Prefixes with no mapping pass through.
+func (s Schedule) Rewrite(names map[string]string) Schedule {
+	out := make(Schedule, len(s))
+	for i, ev := range s {
+		if p, ok := names[ev.Prefix]; ok {
+			ev.Prefix = p
+		}
+		out[i] = ev
+	}
+	return out
+}
+
+// Run replays the schedule against fs in a goroutine, calling onEvent (if
+// non-nil) as each event fires. The returned stop function cancels any
+// events still pending; it does not heal faults already injected.
+func (s Schedule) Run(fs *FS, onEvent func(Event)) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		start := time.Now()
+		for _, ev := range s {
+			wait := ev.After - time.Since(start)
+			if wait > 0 {
+				select {
+				case <-done:
+					return
+				case <-time.After(wait):
+				}
+			} else {
+				select {
+				case <-done:
+					return
+				default:
+				}
+			}
+			if ev.Heal {
+				fs.Heal(ev.Prefix)
+			} else {
+				fs.Fail(ev.Prefix, ev.Mode)
+			}
+			if onEvent != nil {
+				onEvent(ev)
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}

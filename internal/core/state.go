@@ -237,6 +237,7 @@ func (s *searcher) writeCheckpoint(pending *node) {
 	st := s.exportState(pending)
 	n, err := snapshot.WriteFileN(ck.FS, ck.Path, st)
 	if err != nil {
+		s.ckptErrs++
 		if ck.OnError != nil {
 			ck.OnError(err)
 		}

@@ -64,6 +64,13 @@ type Result struct {
 	// including the final flush on a resumable stop. Zero when
 	// Options.Checkpoint is unset.
 	Checkpoints int
+	// CheckpointErrors is how many snapshot writes failed this segment.
+	// Failures never stop the search — resumability degrades, the job
+	// does not — so a nonzero count with Found=true means "answer is
+	// good, durability was not"; callers deciding whether to trust resume
+	// state should look here (and at Checkpoint.OnError for the errors
+	// themselves).
+	CheckpointErrors int
 	// CacheHit reports that the circuit came from the canonical-form
 	// answer cache (Options.Cache) — derived by conjugating a stored
 	// cascade and re-verified — rather than from a search. Steps, Nodes,
@@ -220,6 +227,7 @@ type searcher struct {
 	prevElapsed   time.Duration
 	resumed       bool
 	ckptCount     int
+	ckptErrs      int
 	lastCkptSteps int
 	lastCkptTime  time.Time
 	ckptTimeIn    int // expansions until the next wall-clock cadence check
@@ -587,14 +595,15 @@ func (s *searcher) run() Result {
 	}
 
 	res := Result{
-		Steps:          s.steps,
-		Nodes:          s.nodes,
-		Restarts:       s.restarts,
-		Elapsed:        s.prevElapsed + time.Since(s.startTime),
-		StopReason:     stop,
-		PeakQueueBytes: s.peakBytes,
-		Resumed:        s.resumed,
-		Checkpoints:    s.ckptCount,
+		Steps:            s.steps,
+		Nodes:            s.nodes,
+		Restarts:         s.restarts,
+		Elapsed:          s.prevElapsed + time.Since(s.startTime),
+		StopReason:       stop,
+		PeakQueueBytes:   s.peakBytes,
+		Resumed:          s.resumed,
+		Checkpoints:      s.ckptCount,
+		CheckpointErrors: s.ckptErrs,
 	}
 	if s.tt != nil {
 		res.DedupHits = s.tt.hits

@@ -3,7 +3,9 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"time"
@@ -104,39 +106,57 @@ func (s *Server) Drain(ctx context.Context) error {
 	if err != nil {
 		return fmt.Errorf("serve: encode ledger: %w", err)
 	}
-	if err := writeFileAtomic(s.cfg.FS, s.ledgerPath(), data); err != nil {
+	if err := s.ledgerWrite(data); err != nil {
 		return fmt.Errorf("serve: write ledger: %w", err)
 	}
 	return nil
 }
 
+// isNotExist reports a missing file through any number of error wraps
+// (os, snapshot, chaos, and guarded filesystems all wrap differently).
+func isNotExist(err error) bool { return errors.Is(err, fs.ErrNotExist) }
+
 // recover loads the previous process's drain ledger and re-admits its
 // jobs: checkpointed searches resume exactly, the rest re-run from
-// scratch. Every kind of damage degrades — an unreadable ledger starts the
-// server empty, an unreadable checkpoint re-runs that job fresh — and is
-// reported in RecoveryNotes; recover only returns an error for a broken
-// StateDir itself.
-func (s *Server) recover() error {
+// scratch. Every kind of damage degrades rather than failing the start —
+// an unusable state directory trips the checkpoint and ledger fault
+// domains (checkpointing goes in-memory-only, resume is disabled for the
+// window, /v1/readyz fails if those domains are required), an unreadable
+// ledger starts the server empty but leaves the file for a later healthy
+// restart, an undecodable ledger starts empty and removes it, and an
+// unreadable checkpoint re-runs that job fresh. Everything shed is
+// reported in RecoveryNotes.
+func (s *Server) recover() {
 	if err := os.MkdirAll(s.cfg.StateDir, 0o755); err != nil {
-		return fmt.Errorf("serve: state dir: %w", err)
+		err = fmt.Errorf("serve: state dir: %w", err)
+		s.recoveryNotes = append(s.recoveryNotes,
+			fmt.Sprintf("state dir unusable (%v); checkpointing and drain persistence disabled until it heals", err))
+		s.domCkpt.Trip(err)
+		s.domLedger.Trip(err)
+		s.cfg.Logf("serve: state dir unusable (%v); running without durable state", err)
+		return
 	}
-	data, err := os.ReadFile(s.ledgerPath())
-	if os.IsNotExist(err) {
-		return nil
+	data, err := s.readLedger()
+	if isNotExist(err) {
+		return
 	}
 	if err != nil {
-		return fmt.Errorf("serve: read ledger: %w", err)
+		// The ledger may be fine once the device heals: start empty but
+		// leave the file in place so a later restart can recover it.
+		s.recoveryNotes = append(s.recoveryNotes,
+			fmt.Sprintf("ledger unreadable (%v); starting empty, file left in place", err))
+		return
 	}
 	var led drainLedger
 	if err := json.Unmarshal(data, &led); err != nil {
 		s.recoveryNotes = append(s.recoveryNotes, fmt.Sprintf("ledger unreadable (%v); starting empty", err))
 		s.cfg.FS.Remove(s.ledgerPath())
-		return nil
+		return
 	}
 	if led.Version != ledgerVersion {
 		s.recoveryNotes = append(s.recoveryNotes, fmt.Sprintf("ledger version %d unsupported; starting empty", led.Version))
 		s.cfg.FS.Remove(s.ledgerPath())
-		return nil
+		return
 	}
 
 	now := time.Now()
@@ -147,12 +167,15 @@ func (s *Server) recover() error {
 			continue
 		}
 		j := newJob(c, e.Request, now)
+		j.pin() // no client is attached to a recovered job
 		// The ledger ID names the checkpoint file; keep it even if changed
-		// ceilings re-key the job, so the snapshot is found.
+		// ceilings re-key the job, so the snapshot is found. Reads go
+		// through the guarded checkpoint FS: a sick device trips the
+		// domain instead of stalling recovery, and the jobs re-run fresh.
 		ckptPath := filepath.Join(s.cfg.StateDir, "ckpt-"+e.ID+".snap")
-		if st, err := snapshot.ReadFile(ckptPath); err == nil {
+		if st, err := snapshot.ReadFileFS(s.ckptFS, ckptPath); err == nil {
 			j.resume = st
-		} else if !os.IsNotExist(err) {
+		} else if !isNotExist(err) {
 			s.recoveryNotes = append(s.recoveryNotes, fmt.Sprintf("job %s: checkpoint unusable (%v); re-running fresh", e.ID, err))
 			s.cfg.FS.Remove(ckptPath)
 		}
@@ -179,7 +202,6 @@ func (s *Server) recover() error {
 		s.stats.recovered.Add(1)
 	}
 	s.cfg.FS.Remove(s.ledgerPath())
-	return nil
 }
 
 // writeFileAtomic replaces path with data via the snapshot package's

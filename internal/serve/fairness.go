@@ -1,0 +1,100 @@
+package serve
+
+// Per-client fairness. One chatty client must not starve everyone else's
+// queue slots, so submissions pass a per-client token bucket before the
+// body is even decoded. Clients are keyed by the X-Client-ID header when
+// present (so a NATed fleet can still be told apart) and by remote host
+// otherwise. Over-limit submissions shed with 429 + Retry-After, the same
+// back-pressure contract as a full queue.
+
+import (
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// clientKey identifies the submitting client for fairness accounting.
+func clientKey(r *http.Request) string {
+	if id := r.Header.Get("X-Client-ID"); id != "" {
+		return "id:" + id
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return "addr:" + r.RemoteAddr
+	}
+	return "addr:" + host
+}
+
+// limiter is a lazy-refill token bucket per client key.
+type limiter struct {
+	rate  float64 // tokens per second
+	burst float64 // bucket capacity
+	now   func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// bucketIdleEvict is how long an untouched full bucket survives before
+// the sweep drops it — pure memory hygiene, invisible to clients (a fresh
+// bucket starts full).
+const bucketIdleEvict = 10 * time.Minute
+
+func newLimiter(rate float64, burst int, now func() time.Time) *limiter {
+	if rate <= 0 {
+		return nil
+	}
+	if burst <= 0 {
+		burst = 1 + int(rate) // a second's worth of headroom plus one
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &limiter{rate: rate, burst: float64(burst), now: now, buckets: make(map[string]*bucket)}
+}
+
+// allow takes one token from key's bucket. When the bucket is dry it
+// reports false and how long until the next token accrues.
+func (l *limiter) allow(key string) (bool, time.Duration) {
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.buckets[key]
+	if !ok {
+		if len(l.buckets) >= 4096 {
+			// Hard cap against key-churn abuse (spoofed client IDs): evict
+			// everything idle; if nothing is, fail open rather than grow.
+			l.sweepLocked(now)
+			if len(l.buckets) >= 4096 {
+				return true, 0
+			}
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	}
+	b.tokens = min(l.burst, b.tokens+l.rate*now.Sub(b.last).Seconds())
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / l.rate
+	return false, time.Duration(need * float64(time.Second))
+}
+
+// sweepLocked drops buckets that have been full-and-idle long enough that
+// recreating them is indistinguishable from keeping them.
+func (l *limiter) sweepLocked(now time.Time) {
+	for k, b := range l.buckets {
+		idle := now.Sub(b.last)
+		if idle >= bucketIdleEvict || (idle >= time.Minute && b.tokens+l.rate*idle.Seconds() >= l.burst) {
+			delete(l.buckets, k)
+		}
+	}
+}

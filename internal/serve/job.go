@@ -63,6 +63,16 @@ type Job struct {
 	started   time.Time
 	finished  time.Time
 
+	// Client-disconnect cancellation (interactive jobs only): watchers
+	// counts the clients blocked on the synchronous submit path; when the
+	// last one disconnects before the job finishes — and nothing pinned the
+	// job (an async submit, a recovery) — abortC closes and the worker's
+	// context is canceled, freeing the worker for clients still present.
+	watchers int
+	pinned   bool
+	aborted  bool
+	abortC   chan struct{}
+
 	done chan struct{}
 }
 
@@ -79,6 +89,7 @@ func newJob(c *compiled, req Request, now time.Time) *Job {
 		clamps:    c.clamps,
 		status:    StatusQueued,
 		submitted: now,
+		abortC:    make(chan struct{}),
 		done:      make(chan struct{}),
 	}
 	j.run = obs.NewRun(j.id)
@@ -130,6 +141,67 @@ func (j *Job) isDegraded() bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.degraded
+}
+
+// pin exempts the job from client-disconnect cancellation: an async
+// submitter will poll for the result, a recovered job has no client at
+// all — in both cases the work is wanted regardless of who is connected.
+// Pinning is permanent (the conservative direction: never cancel work
+// someone may come back for).
+func (j *Job) pin() {
+	j.mu.Lock()
+	j.pinned = true
+	j.mu.Unlock()
+}
+
+// addWatcher registers one client blocked on the synchronous submit path.
+func (j *Job) addWatcher() {
+	j.mu.Lock()
+	j.watchers++
+	j.mu.Unlock()
+}
+
+// dropWatcher unregisters one waiting client. When the last watcher of an
+// unpinned, unfinished interactive job leaves, the job is aborted: the
+// worker context cancels, the engine returns best-so-far, and the worker
+// moves on to jobs whose clients are still there.
+func (j *Job) dropWatcher() (abortedNow bool) {
+	j.mu.Lock()
+	j.watchers--
+	trigger := j.watchers <= 0 && !j.pinned && !j.aborted &&
+		j.class == Interactive &&
+		(j.status == StatusQueued || j.status == StatusRunning)
+	if trigger {
+		j.aborted = true
+		if j.note != "" {
+			j.note += "; "
+		}
+		j.note += "canceled: client disconnected"
+	}
+	j.mu.Unlock()
+	if trigger {
+		close(j.abortC)
+	}
+	return trigger
+}
+
+// abortCh is closed when client-disconnect cancellation fires.
+func (j *Job) abortCh() <-chan struct{} { return j.abortC }
+
+// wasAborted reports whether client-disconnect cancellation fired.
+func (j *Job) wasAborted() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.aborted
+}
+
+// redoable reports a terminal job not worth deduplicating against: it was
+// aborted by client disconnect and produced no circuit, so a returning
+// client deserves a fresh run, not a replay of the cancellation.
+func (j *Job) redoable() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.aborted && (j.status == StatusDone || j.status == StatusFailed) && !j.res.Found
 }
 
 // finish records a terminal result. Idempotent close of done.

@@ -93,7 +93,9 @@ func (s *Server) execute(j *Job) {
 
 // attempt runs the job once under its own deadline-backstopped context, so
 // a degraded re-run gets a fresh time budget instead of the tail of the
-// first attempt's.
+// first attempt's. The context also cancels when the last waiting client
+// of an unpinned interactive job disconnects (Job.dropWatcher) — the
+// TimeLimit+5s backstop stays in force either way.
 func (s *Server) attempt(j *Job) core.Result {
 	ctx := s.drainCtx
 	if tl := j.opts.TimeLimit; tl > 0 {
@@ -101,6 +103,15 @@ func (s *Server) attempt(j *Job) core.Result {
 		ctx, cancel = context.WithTimeout(ctx, tl+5*time.Second)
 		defer cancel()
 	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	go func(done <-chan struct{}) {
+		select {
+		case <-j.abortCh():
+			cancel()
+		case <-done:
+		}
+	}(ctx.Done())
 	return s.invoke(ctx, j)
 }
 
@@ -187,7 +198,12 @@ func (s *Server) realRun(ctx context.Context, j *Job) core.Result {
 			Path:       s.checkpointPath(j),
 			Interval:   s.cfg.CheckpointInterval,
 			EverySteps: s.cfg.CheckpointEverySteps,
-			FS:         s.cfg.FS,
+			// Writes go through the checkpoint fault domain: a sick disk
+			// trips the breaker and later snapshots fast-fail with no
+			// syscall until a probe heals it. The engine already treats a
+			// failed snapshot as "resumability degrades, the search goes
+			// on" (Result.CheckpointErrors counts them).
+			FS: s.ckptFS,
 		}
 	}
 	if st := j.resume; st != nil {

@@ -43,10 +43,14 @@ func (s *Server) quarantinePath(j *Job, attempt string) string {
 }
 
 // quarantine writes the verification-failure artifact atomically through
-// the snapshot FS seam (same crash-consistency contract as checkpoints and
-// the drain ledger). Returns the artifact path, or "" when no state
-// directory is configured or the write itself failed — quarantine is
-// best-effort evidence capture and must never mask the original failure.
+// the quarantine fault domain (guarded snapshot FS — same
+// crash-consistency contract as checkpoints and the drain ledger).
+// Returns the artifact path, or "" when no state directory is configured
+// or the write failed — quarantine is best-effort evidence capture and
+// must never mask the original failure. When the write fails (including a
+// breaker fast-fail while the domain is open), the artifact JSON goes to
+// the operational log instead: evidence survives the outage, just not
+// durably.
 func (s *Server) quarantine(j *Job, verr *verify.Error, attempt string) string {
 	if s.cfg.StateDir == "" {
 		return ""
@@ -73,7 +77,8 @@ func (s *Server) quarantine(j *Job, verr *verify.Error, attempt string) string {
 		return ""
 	}
 	path := s.quarantinePath(j, attempt)
-	if err := writeFileAtomic(s.cfg.FS, path, append(data, '\n')); err != nil {
+	if err := writeFileAtomic(s.quarFS, path, append(data, '\n')); err != nil {
+		s.cfg.Logf("serve: quarantine write failed (%v); artifact follows\n%s", err, data)
 		return ""
 	}
 	return path

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"strconv"
 	"sync"
@@ -13,6 +14,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/health"
 	"repro/internal/snapshot"
 )
 
@@ -55,11 +57,37 @@ type Config struct {
 	// responses (default 1 s); the hint grows with queue depth.
 	RetryAfter time.Duration
 	// FS overrides the filesystem checkpoint and ledger writes go through;
-	// nil selects the real disk. The fault-injection tests crash it.
+	// nil selects the real disk. The fault-injection tests crash it; the
+	// chaos harness makes it persistently sick.
 	FS snapshot.FS
 	// Runner overrides how a job is executed — the test seam for overload
 	// and scheduling tests. nil selects the real engine (realRun).
 	Runner func(ctx context.Context, j *Job) core.Result
+	// Health overrides the fault-domain supervisor (shared dashboards,
+	// tests); nil builds a private one. The server registers its domains
+	// (see DomainNames) on it either way.
+	Health *health.Supervisor
+	// HealthConfig tunes the per-domain breakers: failure threshold,
+	// probe backoffs, clock. The zero value selects the health package
+	// defaults (3 consecutive failures, 500 ms base, 30 s cap).
+	HealthConfig health.Config
+	// RequiredDomains lists fault domains whose open state must fail
+	// /v1/readyz (default: none — every domain is optional, degradation
+	// never takes the instance out of rotation).
+	RequiredDomains []string
+	// RateLimit enables per-client fairness: each client (X-Client-ID
+	// header, else remote host) may submit at most this many jobs per
+	// second, sustained; excess submissions shed with 429 + Retry-After.
+	// Zero disables.
+	RateLimit float64
+	// RateBurst is the fairness bucket capacity — how many submissions a
+	// quiet client may burst before the sustained rate applies (default:
+	// one second's worth plus one).
+	RateBurst int
+	// Logf is the operational logger for events that must not be lost
+	// when their durable path is down (quarantine artifacts, degraded
+	// startup). nil selects log.Printf.
+	Logf func(format string, args ...any)
 }
 
 func (c *Config) withDefaults() Config {
@@ -88,6 +116,9 @@ func (c *Config) withDefaults() Config {
 	if out.FS == nil {
 		out.FS = snapshot.DiskFS
 	}
+	if out.Logf == nil {
+		out.Logf = log.Printf
+	}
 	return out
 }
 
@@ -109,6 +140,12 @@ type Stats struct {
 	DegradedReruns int64 `json:"degraded_reruns"`
 	CacheHits      int64 `json:"cache_hits"`
 	CacheMisses    int64 `json:"cache_misses"`
+	// RateLimited counts submissions shed by the per-client fairness
+	// bucket (429 before the body was read).
+	RateLimited int64 `json:"rate_limited"`
+	// DisconnectCancels counts interactive searches canceled because
+	// every waiting client disconnected before the result.
+	DisconnectCancels int64 `json:"disconnect_cancels"`
 }
 
 // Server is the synthesis service: bounded queue, worker pool, job
@@ -119,6 +156,15 @@ type Server struct {
 	queue *jobQueue
 	cache *cache.Cache // nil: caching disabled
 
+	// Fault-domain supervision (see health.go): per-domain breakers plus
+	// the guarded filesystems checkpoint and quarantine writes go through.
+	health *health.Supervisor
+	domCache, domCkpt,
+	domLedger, domQuar *health.Breaker
+	ckptFS, quarFS snapshot.FS
+
+	limiter *limiter // per-client fairness; nil when RateLimit is 0
+
 	mu    sync.Mutex
 	jobs  map[string]*Job // by ID (= idempotency key hex)
 	byKey map[uint64]*Job
@@ -128,6 +174,7 @@ type Server struct {
 		submitted, deduped, shed, completed, failed, interrupted, recovered atomic.Int64
 		verifyFailures, degradedReruns                                      atomic.Int64
 		cacheHits, cacheMisses                                              atomic.Int64
+		rateLimited, disconnectCancels                                      atomic.Int64
 	}
 
 	draining  atomic.Bool
@@ -142,30 +189,43 @@ type Server struct {
 func jobID(key uint64) string { return fmt.Sprintf("%016x", key) }
 
 // New builds a Server and, when cfg.StateDir is set, recovers the previous
-// process's unfinished jobs from its drain ledger. Recovery never fails the
-// start: damaged ledgers or checkpoints degrade to fewer recovered jobs or
-// fresh re-runs, reported in RecoveryNotes.
+// process's unfinished jobs from its drain ledger. Faults in the optional
+// dependencies never fail the start — they degrade: an unusable cache
+// directory falls back to a memory-only cache, an unusable state directory
+// trips the checkpoint and ledger domains and disables resume for the
+// window, damaged ledgers or checkpoints degrade to fewer recovered jobs
+// or fresh re-runs. Everything shed is reported in RecoveryNotes and on
+// the health endpoints.
 func New(cfg Config) (*Server, error) {
 	c := cfg.withDefaults()
 	s := &Server{
-		cfg:   c,
-		queue: newJobQueue(c.QueueInteractive, c.QueueBatch),
-		cache: c.Cache,
-		jobs:  make(map[string]*Job),
-		byKey: make(map[uint64]*Job),
+		cfg:     c,
+		queue:   newJobQueue(c.QueueInteractive, c.QueueBatch),
+		cache:   c.Cache,
+		jobs:    make(map[string]*Job),
+		byKey:   make(map[uint64]*Job),
+		limiter: newLimiter(c.RateLimit, c.RateBurst, nil),
 	}
+	s.initHealth()
 	if s.cache == nil && c.CacheDir != "" {
 		ac, err := cache.Open(c.CacheDir, c.FS)
 		if err != nil {
-			return nil, err
+			// The cache is a feature, not a dependency: serve without
+			// persistence rather than refuse to start.
+			s.recoveryNotes = append(s.recoveryNotes,
+				fmt.Sprintf("cache dir unusable (%v); caching in memory only", err))
+			s.domCache.Trip(err)
+			ac = cache.New()
+			c.Logf("serve: cache dir unusable (%v); caching in memory only", err)
 		}
 		s.cache = ac
 	}
+	if s.cache != nil {
+		s.cache.SetGuard(s.domCache)
+	}
 	s.drainCtx, s.drainStop = context.WithCancel(context.Background())
 	if c.StateDir != "" {
-		if err := s.recover(); err != nil {
-			return nil, err
-		}
+		s.recover()
 	}
 	return s, nil
 }
@@ -185,17 +245,19 @@ func (s *Server) RecoveryNotes() []string { return append([]string(nil), s.recov
 // Stats returns a snapshot of the server counters.
 func (s *Server) Stats() Stats {
 	return Stats{
-		Submitted:      s.stats.submitted.Load(),
-		Deduplicated:   s.stats.deduped.Load(),
-		Shed:           s.stats.shed.Load(),
-		Completed:      s.stats.completed.Load(),
-		Failed:         s.stats.failed.Load(),
-		Interrupted:    s.stats.interrupted.Load(),
-		Recovered:      s.stats.recovered.Load(),
-		VerifyFailures: s.stats.verifyFailures.Load(),
-		DegradedReruns: s.stats.degradedReruns.Load(),
-		CacheHits:      s.stats.cacheHits.Load(),
-		CacheMisses:    s.stats.cacheMisses.Load(),
+		Submitted:         s.stats.submitted.Load(),
+		Deduplicated:      s.stats.deduped.Load(),
+		Shed:              s.stats.shed.Load(),
+		Completed:         s.stats.completed.Load(),
+		Failed:            s.stats.failed.Load(),
+		Interrupted:       s.stats.interrupted.Load(),
+		Recovered:         s.stats.recovered.Load(),
+		VerifyFailures:    s.stats.verifyFailures.Load(),
+		DegradedReruns:    s.stats.degradedReruns.Load(),
+		CacheHits:         s.stats.cacheHits.Load(),
+		CacheMisses:       s.stats.cacheMisses.Load(),
+		RateLimited:       s.stats.rateLimited.Load(),
+		DisconnectCancels: s.stats.disconnectCancels.Load(),
 	}
 }
 
@@ -222,7 +284,7 @@ func (s *Server) admit(c *compiled, req Request) (*Job, bool, error) {
 	// serialize unrelated admissions.
 	if j := s.fromCache(c, req); j != nil {
 		s.mu.Lock()
-		if existing, ok := s.byKey[c.key]; ok && existing.Status() != StatusFailed {
+		if existing, ok := s.byKey[c.key]; ok && existing.Status() != StatusFailed && !existing.redoable() {
 			// A concurrent identical submission won the registration race.
 			s.mu.Unlock()
 			s.stats.deduped.Add(1)
@@ -237,7 +299,7 @@ func (s *Server) admit(c *compiled, req Request) (*Job, bool, error) {
 	}
 
 	s.mu.Lock()
-	if existing, ok := s.byKey[c.key]; ok && existing.Status() != StatusFailed {
+	if existing, ok := s.byKey[c.key]; ok && existing.Status() != StatusFailed && !existing.redoable() {
 		s.mu.Unlock()
 		s.stats.deduped.Add(1)
 		return existing, true, nil
@@ -258,11 +320,13 @@ func (s *Server) admit(c *compiled, req Request) (*Job, bool, error) {
 	return j, false, nil
 }
 
-// dedup returns the live job already registered under key, if any.
+// dedup returns the live job already registered under key, if any. Failed
+// jobs and client-disconnect-canceled jobs without a circuit are not
+// deduplication targets — a retry earns a fresh run.
 func (s *Server) dedup(key uint64) (*Job, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if existing, ok := s.byKey[key]; ok && existing.Status() != StatusFailed {
+	if existing, ok := s.byKey[key]; ok && existing.Status() != StatusFailed && !existing.redoable() {
 		s.stats.deduped.Add(1)
 		return existing, true
 	}
@@ -316,13 +380,16 @@ func setRetryAfter(w http.ResponseWriter, d time.Duration) {
 //	POST /v1/jobs           submit (idempotent; ?wait or "wait":true blocks)
 //	GET  /v1/jobs/{id}      job status and result
 //	GET  /v1/jobs/{id}/stream  JSON-lines progress until the job finishes
-//	GET  /v1/healthz        liveness, queue depths, counters
+//	GET  /v1/healthz        liveness, queue depths, counters, fault domains
+//	GET  /v1/readyz         readiness: 503 while draining or a required
+//	                        fault domain is open
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/readyz", s.handleReady)
 	return mux
 }
 
@@ -351,6 +418,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		setRetryAfter(w, s.cfg.RetryAfter)
 		writeError(w, http.StatusServiceUnavailable, "", "server is draining; retry against the restarted instance")
 		return
+	}
+	// Per-client fairness, before the body is even read: an over-limit
+	// client costs one map lookup, not a decode and a queue slot.
+	if s.limiter != nil {
+		if ok, wait := s.limiter.allow(clientKey(r)); !ok {
+			s.stats.rateLimited.Add(1)
+			setRetryAfter(w, wait)
+			writeError(w, http.StatusTooManyRequests, "", "client rate limit exceeded (%g jobs/s); retry later", s.cfg.RateLimit)
+			return
+		}
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
 	dec := json.NewDecoder(r.Body)
@@ -391,13 +468,25 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if !req.Wait {
+		// An async submitter will come back for the result: pin the job so
+		// no later watcher bookkeeping can cancel it.
+		j.pin()
 		writeJSON(w, http.StatusAccepted, j.view(deduped))
 		return
 	}
+	j.addWatcher()
 	select {
 	case <-j.Done():
+		j.dropWatcher() // after Done: never triggers an abort
 	case <-r.Context().Done():
-		// Client gave up; the job keeps running (it is idempotent to re-ask).
+		// Client gave up. Batch jobs and jobs with other watchers (or an
+		// async submitter) keep running — idempotent to re-ask. An
+		// interactive job nobody is waiting for is canceled so the worker
+		// serves clients that are still here; the engine returns
+		// best-so-far, and a retry of the same request runs fresh.
+		if j.dropWatcher() {
+			s.stats.disconnectCancels.Add(1)
+		}
 		writeJSON(w, http.StatusAccepted, j.view(deduped))
 		return
 	}
@@ -467,17 +556,24 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 
 // healthView is the /v1/healthz body.
 type healthView struct {
-	Status            string `json:"status"` // "ok" or "draining"
+	Status            string `json:"status"` // "ok", "degraded", or "draining"
 	Workers           int    `json:"workers"`
 	Running           int64  `json:"running"`
 	QueuedInteractive int    `json:"queued_interactive"`
 	QueuedBatch       int    `json:"queued_batch"`
 	Stats             Stats  `json:"stats"`
+	// Domains are the fault-domain breaker views: state, trip/probe/
+	// recovery counters, last error. A domain away from "closed" means
+	// that feature is currently shed (see the health package).
+	Domains []health.View `json:"domains"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	qi, qb := s.queue.Depths()
 	status := "ok"
+	if s.health.Degraded() {
+		status = "degraded"
+	}
 	if s.draining.Load() {
 		status = "draining"
 	}
@@ -488,5 +584,6 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		QueuedInteractive: qi,
 		QueuedBatch:       qb,
 		Stats:             s.Stats(),
+		Domains:           s.health.Views(),
 	})
 }

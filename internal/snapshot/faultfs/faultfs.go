@@ -35,7 +35,7 @@ type FS struct {
 // crashes at operation crashAt (-1: never crash). If the crashing
 // operation is a Write, tear bytes of it are persisted first — a torn
 // write. Operations counted: CreateTemp, each Write, Sync, Close, Rename,
-// SyncDir, Remove.
+// SyncDir, Remove, ReadFile.
 func New(inner snapshot.FS, crashAt, tear int) *FS {
 	if inner == nil {
 		inner = snapshot.DiskFS
@@ -110,6 +110,14 @@ func (f *FS) SyncDir(dir string) error {
 		return ErrInjected
 	}
 	return f.inner.SyncDir(dir)
+}
+
+func (f *FS) ReadFile(name string) ([]byte, error) {
+	ok, _ := f.step()
+	if !ok {
+		return nil, ErrInjected
+	}
+	return f.inner.ReadFile(name)
 }
 
 type faultFile struct {

@@ -7,10 +7,13 @@ import (
 	"path/filepath"
 )
 
-// FS is the filesystem seam WriteFile goes through. Production code uses
-// DiskFS; the fault-injection harness (internal/snapshot/faultfs) wraps it
-// to tear, fail, or "crash" at every individual operation, which is how
-// the recovery tests enumerate crash-at-every-write-point schedules.
+// FS is the filesystem seam the durable artifacts (checkpoints, ledgers,
+// cache entries, quarantine evidence) read and write through. Production
+// code uses DiskFS; the fault-injection harnesses wrap it — faultfs to
+// crash at an exact operation index (crash-at-every-write-point recovery
+// tests), chaos to inject persistent ENOSPC/EIO/read-only faults per path
+// prefix (graceful-degradation soak tests), and health.GuardFS to put a
+// circuit breaker in front of a fault domain.
 type FS interface {
 	// CreateTemp creates a new unique temporary file in dir (pattern as
 	// in os.CreateTemp).
@@ -21,6 +24,10 @@ type FS interface {
 	Remove(name string) error
 	// SyncDir flushes the directory entry so the rename itself is durable.
 	SyncDir(dir string) error
+	// ReadFile reads a file whole (as in os.ReadFile). A missing file
+	// must surface as an fs.ErrNotExist-wrapping error so callers can
+	// tell "no artifact yet" from an I/O fault.
+	ReadFile(name string) ([]byte, error)
 }
 
 // File is the writable handle CreateTemp returns.
@@ -41,6 +48,7 @@ func (osFS) CreateTemp(dir, pattern string) (File, error) {
 }
 func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
 func (osFS) Remove(name string) error             { return os.Remove(name) }
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
 func (osFS) SyncDir(dir string) error {
 	d, err := os.Open(dir)
 	if err != nil {
@@ -120,7 +128,16 @@ func WriteRaw(fs FS, path string, data []byte) error {
 // fs.ErrNotExist-wrapping error (no checkpoint yet — callers start fresh);
 // damage surfaces as ErrCorrupt / ErrVersionSkew / ErrNotSnapshot.
 func ReadFile(path string) (*State, error) {
-	data, err := os.ReadFile(path)
+	return ReadFileFS(DiskFS, path)
+}
+
+// ReadFileFS is ReadFile reading through an injectable FS, so the fault
+// harnesses cover the read side of the recovery path too.
+func ReadFileFS(fs FS, path string) (*State, error) {
+	if fs == nil {
+		fs = DiskFS
+	}
+	data, err := fs.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
