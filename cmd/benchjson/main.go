@@ -9,6 +9,13 @@
 //	benchjson [-out BENCH_search.json] [-seed 1] [-table1 400]
 //	          [-random4 60] [-steps 50000] [-examplesteps 150000]
 //	          [-skip-examples]
+//	benchjson -parallel [-out BENCH_parallel.json] [-seed 1]
+//	          [-table1 100] [-random4 15] [-steps 30000]
+//
+// With -parallel the harness compares the search engines instead of the
+// transposition table: sequential vs deterministic-merge at several
+// worker counts (whose trajectories must be bit-identical) vs the
+// free-running work-stealing engine, writing BENCH_parallel.json.
 package main
 
 import (
@@ -31,13 +38,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		out          = fs.String("out", "BENCH_search.json", "output file (\"-\" for stdout)")
+		out          = fs.String("out", "", "output file (\"-\" for stdout; default BENCH_search.json, or BENCH_parallel.json with -parallel)")
 		seed         = fs.Uint64("seed", 0, "workload seed (0 = default 1)")
-		table1       = fs.Int("table1", 0, "3-variable Table-I sample size (0 = default 400)")
-		random4      = fs.Int("random4", 0, "4-variable random sample size (0 = default 60)")
-		steps        = fs.Int("steps", 0, "per-function expansion budget (0 = default 50000)")
+		table1       = fs.Int("table1", 0, "3-variable Table-I sample size (0 = default 400, or 100 with -parallel)")
+		random4      = fs.Int("random4", 0, "4-variable random sample size (0 = default 60, or 15 with -parallel)")
+		steps        = fs.Int("steps", 0, "per-function expansion budget (0 = default 50000, or 30000 with -parallel)")
 		exampleSteps = fs.Int("examplesteps", 0, "per-example expansion budget (0 = default 150000)")
 		skipExamples = fs.Bool("skip-examples", false, "skip the worked-examples comparison")
+		parallel     = fs.Bool("parallel", false, "run the parallel-engine harness instead (sequential vs det-merge widths vs free-running)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -45,6 +53,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer cancel()
+
+	if *parallel {
+		return runParallel(ctx, bench.ParallelBenchConfig{
+			Seed:         *seed,
+			Table1Sample: *table1,
+			Random4:      *random4,
+			TotalSteps:   *steps,
+		}, *out, stdout, stderr)
+	}
+	if *out == "" {
+		*out = "BENCH_search.json"
+	}
 
 	cfg := bench.SearchBenchConfig{
 		Seed:         *seed,
@@ -87,6 +107,50 @@ func run(args []string, stdout, stderr io.Writer) int {
 	for _, e := range report.Examples {
 		fmt.Fprintf(stderr, "%-12s  gates %2d -> %2d (paper %2d)  steps %7d -> %7d\n",
 			e.Name, e.GatesOff, e.GatesOn, e.PaperGates, e.StepsOff, e.StepsOn)
+	}
+	return 0
+}
+
+// runParallel executes the parallel-engine harness and writes its report.
+func runParallel(ctx context.Context, cfg bench.ParallelBenchConfig, out string, stdout, stderr io.Writer) int {
+	if out == "" {
+		out = "BENCH_parallel.json"
+	}
+	report, err := bench.RunParallelBench(ctx, cfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		if ctx.Err() != nil {
+			return 3
+		}
+		return 1
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	data = append(data, '\n')
+	if out == "-" {
+		_, err = stdout.Write(data)
+	} else {
+		err = os.WriteFile(out, data, 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "machine: %d cpus, GOMAXPROCS %d (speedups are relative to this box)\n",
+		report.CPUs, report.GOMAXPROCS)
+	for _, w := range report.Workloads {
+		det := "det-merge IDENTICAL across widths"
+		if !w.DetMergeIdentical {
+			det = "det-merge DIVERGED across widths (BUG)"
+		}
+		fmt.Fprintf(stderr, "%s: %s\n", w.Workload, det)
+		for _, r := range w.Rows {
+			fmt.Fprintf(stderr, "  %-12s w=%d  %8d exp  %6.2fs  %8.0f exp/s  speedup %.2fx  traj %s\n",
+				r.Engine, r.Workers, r.Expansions, r.Seconds, r.NodesPerSec, r.Speedup, r.Trajectory)
+		}
 	}
 	return 0
 }

@@ -60,6 +60,7 @@ func run(args []string, sig chan os.Signal, stdout, stderr io.Writer) int {
 	var (
 		addr     = fs.String("addr", ":8053", "host:port to serve the synthesis API on")
 		workers  = fs.Int("workers", 2, "worker-pool size (concurrent syntheses)")
+		searchW  = fs.Int("search-workers", 0, "parallel-search core budget; a job dequeued into a shallow queue claims several (deterministic-merge engine), deep queues keep jobs sequential (0 disables)")
 		queueInt = fs.Int("queue-interactive", 64, "interactive-class queue capacity")
 		queueBat = fs.Int("queue-batch", 256, "batch-class queue capacity")
 
@@ -137,6 +138,7 @@ func run(args []string, sig chan os.Signal, stdout, stderr io.Writer) int {
 
 	srv, err := serve.New(serve.Config{
 		Workers:          *workers,
+		SearchWorkers:    *searchW,
 		QueueInteractive: *queueInt,
 		QueueBatch:       *queueBat,
 		Ceiling: core.BudgetCeiling{

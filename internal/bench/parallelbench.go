@@ -1,0 +1,226 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/perm"
+	"repro/internal/pprm"
+)
+
+// This file is the parallel-search harness: it runs the seeded workloads
+// of the search harness under the sequential engine, the deterministic-
+// merge engine at several worker counts, and the free-running
+// work-stealing engine, and reports the numbers checked in as
+// BENCH_parallel.json. Two kinds of facts come out: determinism facts
+// (every det-merge width must produce the bit-identical trajectory —
+// machine-independent) and throughput facts (wall-clock speedups —
+// meaningful only on the machine whose cpus/gomaxprocs metadata the
+// report carries; a single-core runner honestly reports ~1.0).
+
+// ParallelBenchConfig sizes the parallel harness. The zero value selects
+// the defaults used for the checked-in BENCH_parallel.json.
+type ParallelBenchConfig struct {
+	// Seed drives the pseudo-random workloads (shared with the search
+	// harness generator). Default 1.
+	Seed uint64 `json:"seed"`
+	// Table1Sample is the number of seeded 3-variable functions.
+	// Default 100.
+	Table1Sample int `json:"table1_sample"`
+	// Random4 is the number of seeded 4-variable functions. Default 15.
+	Random4 int `json:"random4"`
+	// TotalSteps is the per-function expansion budget. Default 30000.
+	TotalSteps int `json:"total_steps"`
+	// Widths are the det-merge worker counts to compare; the free-running
+	// engine runs at the largest. Default [1, 4, 8].
+	Widths []int `json:"widths"`
+}
+
+func (c *ParallelBenchConfig) fill() {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Table1Sample == 0 {
+		c.Table1Sample = 100
+	}
+	if c.Random4 == 0 {
+		c.Random4 = 15
+	}
+	if c.TotalSteps == 0 {
+		c.TotalSteps = 30000
+	}
+	if len(c.Widths) == 0 {
+		c.Widths = []int{1, 4, 8}
+	}
+}
+
+// EngineRow is one workload under one engine configuration.
+type EngineRow struct {
+	// Engine is "sequential", "det-merge", or "free-running".
+	Engine string `json:"engine"`
+	// Workers is the configured width (0 for the sequential engine).
+	Workers     int     `json:"workers"`
+	Functions   int     `json:"functions"`
+	Solved      int     `json:"solved"`
+	TotalGates  int     `json:"total_gates"`
+	Expansions  int64   `json:"expansions"`
+	Steals      int64   `json:"steals,omitempty"`
+	Idles       int64   `json:"idles,omitempty"`
+	Seconds     float64 `json:"seconds"`
+	NodesPerSec float64 `json:"nodes_per_sec"`
+	// Speedup is this row's NodesPerSec over the workload's sequential
+	// row (machine-dependent; ~1.0 on a single-core runner).
+	Speedup float64 `json:"speedup"`
+	// Trajectory fingerprints the per-function results (found flag,
+	// circuit, steps, nodes). Rows with equal fingerprints took the
+	// bit-identical search trajectory; every det-merge width must agree.
+	// The free-running engine makes no such promise and its fingerprint
+	// varies run to run.
+	Trajectory string `json:"trajectory"`
+}
+
+// ParallelWorkload compares the engines on one workload.
+type ParallelWorkload struct {
+	Workload string      `json:"workload"`
+	Rows     []EngineRow `json:"rows"`
+	// DetMergeIdentical reports whether every det-merge width produced
+	// the same trajectory fingerprint. Anything but true is a bug.
+	DetMergeIdentical bool `json:"det_merge_identical"`
+}
+
+// ParallelReport is the schema of BENCH_parallel.json.
+type ParallelReport struct {
+	Config ParallelBenchConfig `json:"config"`
+	// CPUs and GOMAXPROCS are the honest context for every wall-clock
+	// figure in the report: speedups measured with fewer cores than
+	// workers mean "overhead only", not "the engine does not scale".
+	CPUs       int                `json:"cpus"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	Workloads  []ParallelWorkload `json:"workloads"`
+}
+
+// runEngineRow synthesizes every function under opts and aggregates one
+// row, fingerprinting the trajectory as it goes.
+func runEngineRow(ctx context.Context, fns []perm.Perm, opts core.Options, engine string) (EngineRow, error) {
+	row := EngineRow{Engine: engine, Workers: opts.Workers, Functions: len(fns)}
+	h := fnv.New64a()
+	start := time.Now()
+	for _, p := range fns {
+		if ctx.Err() != nil {
+			return row, ctx.Err()
+		}
+		spec, err := pprm.FromPerm(p)
+		if err != nil {
+			return row, err
+		}
+		r := core.SynthesizeContext(ctx, spec, opts)
+		if r.Err != nil {
+			return row, r.Err
+		}
+		row.Expansions += int64(r.Steps)
+		row.Steals += r.Steals
+		row.Idles += r.Idles
+		gates := "<none>"
+		if r.Found {
+			if err := core.Verify(r.Circuit, p); err != nil {
+				return row, err
+			}
+			row.Solved++
+			row.TotalGates += r.Circuit.Len()
+			gates = r.Circuit.String()
+		}
+		fmt.Fprintf(h, "%v|%s|%d|%d;", r.Found, gates, r.Steps, r.Nodes)
+	}
+	row.Seconds = time.Since(start).Seconds()
+	if row.Seconds > 0 {
+		row.NodesPerSec = float64(row.Expansions) / row.Seconds
+	}
+	row.Trajectory = fmt.Sprintf("%016x", h.Sum64())
+	return row, nil
+}
+
+// compareEngines runs one workload under every engine configuration.
+func compareEngines(ctx context.Context, name string, fns []perm.Perm, cfg ParallelBenchConfig) (ParallelWorkload, error) {
+	w := ParallelWorkload{Workload: name, DetMergeIdentical: true}
+
+	add := func(opts core.Options, engine string) error {
+		row, err := runEngineRow(ctx, fns, opts, engine)
+		if err != nil {
+			return fmt.Errorf("%s (%s, %d workers): %w", name, engine, opts.Workers, err)
+		}
+		w.Rows = append(w.Rows, row)
+		return nil
+	}
+
+	if err := add(searchOpts(cfg.TotalSteps, true), "sequential"); err != nil {
+		return w, err
+	}
+	maxWidth := 0
+	for _, width := range cfg.Widths {
+		opts := searchOpts(cfg.TotalSteps, true)
+		opts.Workers = width
+		if err := add(opts, "det-merge"); err != nil {
+			return w, err
+		}
+		if width > maxWidth {
+			maxWidth = width
+		}
+	}
+	if maxWidth >= 2 {
+		opts := searchOpts(cfg.TotalSteps, true)
+		opts.Workers = maxWidth
+		opts.FreeRunning = true
+		if err := add(opts, "free-running"); err != nil {
+			return w, err
+		}
+	}
+
+	base := w.Rows[0].NodesPerSec
+	var detFP string
+	for i := range w.Rows {
+		r := &w.Rows[i]
+		if base > 0 {
+			r.Speedup = r.NodesPerSec / base
+		}
+		if r.Engine == "det-merge" {
+			if detFP == "" {
+				detFP = r.Trajectory
+			} else if r.Trajectory != detFP {
+				w.DetMergeIdentical = false
+			}
+		}
+	}
+	return w, nil
+}
+
+// RunParallelBench executes the parallel harness over the seeded
+// 3-variable and 4-variable workloads.
+func RunParallelBench(ctx context.Context, cfg ParallelBenchConfig) (*ParallelReport, error) {
+	cfg.fill()
+	report := &ParallelReport{
+		Config:     cfg,
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	workloads := []struct {
+		name string
+		vars int
+		n    int
+	}{
+		{"table1-3var", 3, cfg.Table1Sample},
+		{"random-4var", 4, cfg.Random4},
+	}
+	for _, w := range workloads {
+		fns := seededFunctions(cfg.Seed, w.vars, w.n)
+		cmp, err := compareEngines(ctx, w.name, fns, cfg)
+		if err != nil {
+			return nil, err
+		}
+		report.Workloads = append(report.Workloads, cmp)
+	}
+	return report, nil
+}

@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"context"
+	"runtime"
+	"testing"
+)
+
+// TestParallelBenchSmoke runs a scaled-down parallel harness end to end:
+// the report must carry every engine row, every det-merge width must
+// fingerprint identically, and — when the runner actually has cores to
+// scale onto — the free-running engine must beat the sequential baseline
+// by the CI floor (8-worker wall clock ≤ 0.6× single-worker). On fewer
+// than 4 cores the throughput assertion is skipped; the determinism
+// assertions hold everywhere.
+func TestParallelBenchSmoke(t *testing.T) {
+	cfg := ParallelBenchConfig{Table1Sample: 20, Random4: 3, TotalSteps: 8000}
+	report, err := RunParallelBench(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.CPUs < 1 || report.GOMAXPROCS < 1 {
+		t.Errorf("missing machine metadata: cpus=%d gomaxprocs=%d", report.CPUs, report.GOMAXPROCS)
+	}
+	if len(report.Workloads) != 2 {
+		t.Fatalf("workloads = %d, want 2", len(report.Workloads))
+	}
+	for _, w := range report.Workloads {
+		// sequential + one det-merge row per width + free-running.
+		want := 1 + len(report.Config.Widths) + 1
+		if len(w.Rows) != want {
+			t.Fatalf("%s: rows = %d, want %d", w.Workload, len(w.Rows), want)
+		}
+		if !w.DetMergeIdentical {
+			t.Errorf("%s: det-merge trajectories differ across worker counts", w.Workload)
+		}
+		for _, r := range w.Rows {
+			if r.Expansions <= 0 {
+				t.Errorf("%s/%s-%d: no expansions recorded", w.Workload, r.Engine, r.Workers)
+			}
+			if r.Trajectory == "" {
+				t.Errorf("%s/%s-%d: missing trajectory fingerprint", w.Workload, r.Engine, r.Workers)
+			}
+		}
+	}
+
+	if runtime.NumCPU() < 4 {
+		t.Logf("only %d cores: skipping the throughput floor (speedups here measure overhead, not scaling)", runtime.NumCPU())
+		return
+	}
+	w := report.Workloads[0] // table1-3var
+	var seq, free *EngineRow
+	for i := range w.Rows {
+		switch w.Rows[i].Engine {
+		case "sequential":
+			seq = &w.Rows[i]
+		case "free-running":
+			free = &w.Rows[i]
+		}
+	}
+	if seq == nil || free == nil {
+		t.Fatal("missing sequential or free-running row")
+	}
+	// Equal budgets, so wall-clock ratio ≈ expansion-rate ratio.
+	if free.NodesPerSec < seq.NodesPerSec/0.6 {
+		t.Errorf("free-running throughput %.0f exp/s on %d cores, want ≥ %.0f (≤0.6× sequential wall clock)",
+			free.NodesPerSec, runtime.NumCPU(), seq.NodesPerSec/0.6)
+	}
+}

@@ -131,6 +131,8 @@ func SynthesizePortfolioContext(ctx context.Context, spec *pprm.Spec, opts Optio
 	best.DedupHits += refined.DedupHits
 	best.DedupMisses += refined.DedupMisses
 	best.DedupEvictions += refined.DedupEvictions
+	best.Steals += refined.Steals
+	best.Idles += refined.Idles
 	if refined.Found && refined.Circuit.Len() < best.Circuit.Len() {
 		best.Circuit = refined.Circuit
 		best.Verified = refined.Verified
@@ -164,9 +166,18 @@ func mergeResults(results []Result, canceled bool) Result {
 		merged.DedupHits += r.DedupHits
 		merged.DedupMisses += r.DedupMisses
 		merged.DedupEvictions += r.DedupEvictions
-		if r.PeakQueueBytes > merged.PeakQueueBytes {
-			merged.PeakQueueBytes = r.PeakQueueBytes
+		merged.Steals += r.Steals
+		merged.Idles += r.Idles
+		if r.Workers > merged.Workers {
+			merged.Workers = r.Workers
 		}
+		// The variants run concurrently, so their queue watermarks coexist:
+		// the portfolio's worst-case footprint is the SUM of the per-variant
+		// peaks, not their max. (Summing per-variant peaks still slightly
+		// over-approximates — the variants need not peak at the same instant —
+		// but a capacity planner wants the upper bound; taking the max here
+		// under-reported a 3-variant portfolio by ~3x.)
+		merged.PeakQueueBytes += r.PeakQueueBytes
 		if r.Err != nil && firstErr == nil {
 			firstErr = r.Err
 		}
@@ -236,6 +247,8 @@ func synthesizeTightening(ctx context.Context, spec *pprm.Spec, opts Options, ga
 		out.DedupHits += r.DedupHits
 		out.DedupMisses += r.DedupMisses
 		out.DedupEvictions += r.DedupEvictions
+		out.Steals += r.Steals
+		out.Idles += r.Idles
 		if !r.Found {
 			break
 		}
@@ -301,6 +314,11 @@ func SynthesizeIterativeContext(ctx context.Context, spec *pprm.Spec, opts Optio
 		best.DedupHits += r.DedupHits
 		best.DedupMisses += r.DedupMisses
 		best.DedupEvictions += r.DedupEvictions
+		best.Steals += r.Steals
+		best.Idles += r.Idles
+		// Rounds run one after another, so the overall watermark is the max
+		// of the per-round peaks (contrast mergeResults, where concurrent
+		// variants' peaks add).
 		if r.PeakQueueBytes > best.PeakQueueBytes {
 			best.PeakQueueBytes = r.PeakQueueBytes
 		}

@@ -69,6 +69,18 @@ func optionsFingerprint(o *Options) uint64 {
 	mix(uint64(o.MaxMemory))
 	mixBool(o.Dedup)
 	mix(uint64(int64(o.dedupMaxEntries())))
+	// The engine is fingerprinted only when it can change the trajectory:
+	// the deterministic-merge engine is worker-count-invariant but batches
+	// its budget checks, so it is a distinct (internally consistent) family
+	// from the classic searcher; the free-running engine is its own. The
+	// worker COUNT is deliberately not mixed — resuming a det-merge
+	// checkpoint under a different Workers value is exact. Sequential runs
+	// mix nothing, so fingerprints (and checkpoints, and cache keys) from
+	// before the parallel engines existed remain valid.
+	if m := o.parallelMode(); m != parSeq {
+		mix(0x70617261) // "para"
+		mix(uint64(m))
+	}
 	return h
 }
 
@@ -503,7 +515,7 @@ func ResumeStateContext(ctx context.Context, spec *pprm.Spec, opts Options, st *
 	// A resume never short-circuits through the answer cache (the caller
 	// asked to continue this checkpoint), but its verified result is
 	// still offered back so later equivalent requests hit.
-	return cacheStore(cacheProbeFor(spec, &opts), &opts, verifyGate(spec, &opts, s.run())), nil
+	return cacheStore(cacheProbeFor(spec, &opts), &opts, verifyGate(spec, &opts, s.runEngine())), nil
 }
 
 // ResumePermContext is ResumeContext for a function given as a permutation.

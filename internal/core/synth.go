@@ -90,6 +90,18 @@ type Result struct {
 	// with Verified false is unchecked, not wrong; a circuit that fails the
 	// gate never reaches the caller (StopVerifyFailed instead).
 	Verified bool
+	// Workers is the number of search goroutines the run actually used:
+	// 0 for the classic sequential engine, Options.Workers otherwise. The
+	// deterministic-merge engine's other counters are identical for every
+	// Workers value; the free-running engine's Steps/Nodes sum its
+	// workers' counters and can differ run to run.
+	Workers int
+	// Steals counts work items taken from a peer's queue by an idle
+	// worker (free-running engine only; zero otherwise).
+	Steals int64
+	// Idles counts empty-handed scans — an idle worker finding neither
+	// local work nor anything to steal (free-running engine only).
+	Idles int64
 	// Err is non-nil only when the run was aborted by a recovered internal
 	// invariant panic (StopReason == StopInternalError). The rest of the
 	// Result is zero in that case; the process survives.
@@ -132,7 +144,7 @@ func SynthesizeContext(ctx context.Context, spec *pprm.Spec, opts Options) (res 
 	}
 	s := newSearcher(spec, opts)
 	s.done = ctx.Done()
-	return cacheStore(probe, &opts, verifyGate(spec, &opts, s.run()))
+	return cacheStore(probe, &opts, verifyGate(spec, &opts, s.runEngine()))
 }
 
 // SynthesizePerm synthesizes a reversible function given as a permutation:
@@ -215,9 +227,15 @@ type searcher struct {
 	maxGates           int
 	tt                 *transpo // transposition table; nil when Dedup is off
 	free               []*node  // recycled node structs (allocation diet)
-	sortBuf            []scored
+	gen                genResult
+	steals, idles      int64 // free-running engine telemetry, folded in after the pool run
 	factorBuf          []bits.Mask
 	deltaBuf           []bits.Mask
+
+	// stepHook, when non-nil, runs at the top of every search-loop
+	// iteration. Test-only: invariant checks (byte accounting, watermark
+	// monotonicity) hook in here without perturbing the search itself.
+	stepHook func(*searcher)
 
 	// Checkpoint/resume state (see state.go). startTime is this segment's
 	// run() entry; prevElapsed is the wall-clock accumulated by earlier
@@ -334,6 +352,8 @@ func (s *searcher) observe() {
 		QueueBytes: s.queueBytes,
 		TotalBytes: s.totalBytes(),
 		PeakBytes:  s.peakBytes,
+		Steals:     s.steals,
+		Idles:      s.idles,
 	}
 	if s.tt != nil {
 		c.DedupHits = s.tt.hits
@@ -426,10 +446,21 @@ func (s *searcher) push(n *node) {
 	if s.tt != nil {
 		s.tt.record(n.hash, n.depth)
 	}
+	s.notePeak()
+	s.pq.Push(n, n.priority)
+}
+
+// notePeak advances the high-water memory mark. The watermark is monotone
+// within an attempt by construction: it only ever ratchets upward, and
+// every byte source feeding totalBytes charges a node exactly once (a
+// popped node's charge is released on pop and re-charged only by the
+// cancellation rollback, which happens at most once per node and is
+// followed immediately by run exit — never by another push of the same
+// node within the attempt).
+func (s *searcher) notePeak() {
 	if t := s.totalBytes(); t > s.peakBytes {
 		s.peakBytes = t
 	}
-	s.pq.Push(n, n.priority)
 }
 
 // recountQueueBytes rebuilds the memory estimate after a prune discarded
@@ -480,36 +511,106 @@ func (s *searcher) rerecordQueued() {
 	s.pq.Each(func(n *node) { s.tt.record(n.hash, n.depth) })
 }
 
-func (s *searcher) run() Result {
+// begin runs the shared run prologue: segment timing, the Observe Begin
+// event, the trivial-identity early exit, and (on a fresh run) seeding the
+// queue with the root. done is true when the search is already over and
+// res is the final Result.
+func (s *searcher) begin() (res Result, done bool) {
 	s.startTime = time.Now()
 	s.lastCkptTime = s.startTime
 	if o := s.opts.Observe; o != nil {
 		o.Begin(int64(s.opts.TotalSteps), s.opts.TimeLimit, s.opts.MaxMemory)
 	}
-	stop := StopNone
-	if s.resumed && s.bestSol != nil {
-		// A resumed run may already hold a best-so-far circuit; report it so
-		// the first snapshot does not pretend the run is solution-less.
-		s.observeSolution(s.bestSol)
+	if s.resumed {
+		if s.bestSol != nil {
+			// A resumed run may already hold a best-so-far circuit; report it
+			// so the first snapshot does not pretend the run is solution-less.
+			s.observeSolution(s.bestSol)
+		}
+		return Result{}, false
 	}
+	if s.root.spec.IsIdentity() {
+		if o := s.opts.Observe; o != nil {
+			o.Solution(0, 0)
+			o.Finish(StopSolved.String())
+		}
+		return Result{Circuit: circuit.New(s.n), Found: true, Nodes: 1,
+			Elapsed: time.Since(s.startTime), StopReason: StopSolved}, true
+	}
+	s.emit(EventPush, s.root)
+	s.push(s.root)
+	return Result{}, false
+}
+
+// finish runs the shared run epilogue: the final checkpoint flush on a
+// resumable stop, Result assembly from the searcher's counters, and the
+// closing Observe update. pending, when non-nil, is a node popped but not
+// yet expanded when a cancellation arrived (sequential engine only); it is
+// handed to the final checkpoint as the head of the queue.
+func (s *searcher) finish(stop StopReason, pending *node) Result {
+	if resumableStop(stop) {
+		// The run can be continued later: flush a final checkpoint so the
+		// on-disk state matches the exact step boundary we stopped at.
+		// Non-resumable stops (solved, exhausted) leave the previous
+		// periodic checkpoint in place; callers delete it on success.
+		s.writeCheckpoint(pending)
+	}
+	res := Result{
+		Steps:            s.steps,
+		Nodes:            s.nodes,
+		Restarts:         s.restarts,
+		Elapsed:          s.prevElapsed + time.Since(s.startTime),
+		StopReason:       stop,
+		PeakQueueBytes:   s.peakBytes,
+		Resumed:          s.resumed,
+		Checkpoints:      s.ckptCount,
+		CheckpointErrors: s.ckptErrs,
+		Steals:           s.steals,
+		Idles:            s.idles,
+	}
+	if s.tt != nil {
+		res.DedupHits = s.tt.hits
+		res.DedupMisses = s.tt.misses
+		res.DedupEvictions = s.tt.evictions
+	}
+	if s.bestSol != nil {
+		res.Found = true
+		res.Circuit = s.extract(s.bestSol)
+	}
+	if o := s.opts.Observe; o != nil {
+		s.observe() // final counters, so the last snapshot is exact
+		o.Finish(stop.String())
+	}
+	return res
+}
+
+// runEngine dispatches to the engine selected by Options.Workers; see
+// Options.Workers and Options.FreeRunning.
+func (s *searcher) runEngine() Result {
+	switch s.opts.parallelMode() {
+	case parBatch:
+		return s.runBatched()
+	case parFree:
+		return s.runFree()
+	default:
+		return s.run()
+	}
+}
+
+func (s *searcher) run() Result {
+	if res, done := s.begin(); done {
+		return res
+	}
+	stop := StopNone
 	// pending is a node popped but not yet expanded when a cancellation
 	// arrived: its half-finished step is rolled back so the final
 	// checkpoint records the clean "about to pop this node" state.
 	var pending *node
-	if !s.resumed {
-		if s.root.spec.IsIdentity() {
-			if o := s.opts.Observe; o != nil {
-				o.Solution(0, 0)
-				o.Finish(StopSolved.String())
-			}
-			return Result{Circuit: circuit.New(s.n), Found: true, Nodes: 1,
-				Elapsed: time.Since(s.startTime), StopReason: StopSolved}
-		}
-		s.emit(EventPush, s.root)
-		s.push(s.root)
-	}
 
 	for {
+		if s.stepHook != nil {
+			s.stepHook(s)
+		}
 		s.maybeCheckpoint()
 		if s.opts.TotalSteps > 0 && s.steps >= s.opts.TotalSteps {
 			stop = StopStepLimit
@@ -568,13 +669,6 @@ func (s *searcher) run() Result {
 			s.recycle(parent)
 			continue
 		}
-		if parent.spec == nil {
-			// Lazy materialization (the paper's memory optimization, one
-			// step further: queued nodes store only their substitution).
-			// The parent chain keeps expansions alive, so one
-			// copy-on-write substitution reconstructs this node's.
-			parent.spec, _ = parent.parent.spec.SubstituteCopy(parent.target, parent.factor)
-		}
 		s.expand(parent)
 		if s.pq.Len() > s.opts.maxQueue() {
 			s.pq.PruneToFunc(s.opts.maxQueue()/2, s.discardQueued)
@@ -586,39 +680,7 @@ func (s *searcher) run() Result {
 		}
 	}
 
-	if resumableStop(stop) {
-		// The run can be continued later: flush a final checkpoint so the
-		// on-disk state matches the exact step boundary we stopped at.
-		// Non-resumable stops (solved, exhausted) leave the previous
-		// periodic checkpoint in place; callers delete it on success.
-		s.writeCheckpoint(pending)
-	}
-
-	res := Result{
-		Steps:            s.steps,
-		Nodes:            s.nodes,
-		Restarts:         s.restarts,
-		Elapsed:          s.prevElapsed + time.Since(s.startTime),
-		StopReason:       stop,
-		PeakQueueBytes:   s.peakBytes,
-		Resumed:          s.resumed,
-		Checkpoints:      s.ckptCount,
-		CheckpointErrors: s.ckptErrs,
-	}
-	if s.tt != nil {
-		res.DedupHits = s.tt.hits
-		res.DedupMisses = s.tt.misses
-		res.DedupEvictions = s.tt.evictions
-	}
-	if s.bestSol != nil {
-		res.Found = true
-		res.Circuit = s.extract(s.bestSol)
-	}
-	if o := s.opts.Observe; o != nil {
-		s.observe() // final counters, so the last snapshot is exact
-		o.Finish(stop.String())
-	}
-	return res
+	return s.finish(stop, pending)
 }
 
 // restart implements the Section IV-E heuristic: abandon the current
@@ -694,16 +756,82 @@ func (s *searcher) priority(depth, terms, elimStep int, factor bits.Mask) float6
 }
 
 // expand generates, scores, prunes, and queues the children of parent
-// (lines 18–33 of Fig. 4 plus the Section IV-D/E extensions).
+// (lines 18–33 of Fig. 4 plus the Section IV-D/E extensions). It is split
+// into a generation half (generate: scoring, sorting, and the solution
+// identity checks — pure spec math with no searcher-global state) and a
+// commit half (commit: admission, transposition probes, queue pushes) so
+// the parallel engines can run many generations concurrently while every
+// table and queue mutation stays on one goroutine. The sequential search
+// runs the two halves back to back, which performs the same operations in
+// the same order as the previous fused loop.
 func (s *searcher) expand(parent *node) {
+	s.generate(parent, &s.gen)
+	s.commit(parent, &s.gen)
+}
+
+// pcand is one generated candidate child: its score plus the solution
+// prework. For candidates that could complete a circuit (terms == n) the
+// generation half materializes the expansion and runs the identity check
+// up front, so the commit half never has to touch spec math.
+type pcand struct {
+	scored
+	sol      *pprm.Spec // materialized expansion when terms == n and not the identity
+	identity bool       // terms == n and the expansion is the identity
+}
+
+// genTarget collects the sorted candidates for one substitution target.
+type genTarget struct {
+	target int
+	cands  []pcand
+}
+
+// genResult is one expansion's generated children, grouped per target in
+// target order. The backing arrays (outer and inner) are reused across
+// expansions: next re-extends within capacity so the inner cands slices
+// keep their storage.
+type genResult struct {
+	targets []genTarget
+}
+
+func (gr *genResult) reset() { gr.targets = gr.targets[:0] }
+
+func (gr *genResult) next(target int) *genTarget {
+	if len(gr.targets) < cap(gr.targets) {
+		gr.targets = gr.targets[:len(gr.targets)+1]
+	} else {
+		gr.targets = append(gr.targets, genTarget{})
+	}
+	tg := &gr.targets[len(gr.targets)-1]
+	tg.target = target
+	tg.cands = tg.cands[:0]
+	return tg
+}
+
+// generate scores every candidate substitution of parent into gr: one
+// probe per candidate, priorities, the per-target stable sort, and the
+// materialization + identity check for solution-possible candidates.
+// It materializes parent's own expansion first if the node was queued
+// lazily. It reads only the parent chain (immutable once expanded) and
+// the searcher's scoring configuration and scratch buffers — never the
+// queue, the transposition table, or any counter — so distinct searchers
+// may generate distinct parents concurrently.
+func (s *searcher) generate(parent *node, gr *genResult) {
+	gr.reset()
+	if parent.spec == nil {
+		// Lazy materialization (the paper's memory optimization, one
+		// step further: queued nodes store only their substitution).
+		// The parent chain keeps expansions alive, so one
+		// copy-on-write substitution reconstructs this node's.
+		parent.spec, _ = parent.parent.spec.SubstituteCopy(parent.target, parent.factor)
+	}
 	spec := parent.spec
-	isRoot := parent.depth == 0
+	childDepth := parent.depth + 1
 	for target := 0; target < s.n; target++ {
 		factors := s.factorsFor(spec, target)
 		if len(factors) == 0 {
 			continue
 		}
-		cands := s.sortBuf[:0]
+		tg := gr.next(target)
 		for _, f := range factors {
 			// Re-applying the parent's own substitution would cancel it:
 			// two identical adjacent Toffoli gates are the identity.
@@ -717,20 +845,19 @@ func (s *searcher) expand(parent *node) {
 			var hash uint64
 			delta, hash, s.deltaBuf = spec.SubstituteProbe(target, f, s.deltaBuf)
 			childTerms := parent.terms + delta
-			cands = append(cands, scored{
+			tg.cands = append(tg.cands, pcand{scored: scored{
 				factor: f,
 				terms:  childTerms,
 				elim:   -delta,
 				hash:   hash,
 				admit:  s.admit(f, childTerms, -delta),
-			})
+			}})
 		}
-		childDepth := parent.depth + 1
-		for i := range cands {
-			c := &cands[i]
+		for i := range tg.cands {
+			c := &tg.cands[i]
 			c.priority = s.priority(childDepth, c.terms, c.elim, c.factor)
 		}
-		slices.SortStableFunc(cands, func(a, b scored) int {
+		slices.SortStableFunc(tg.cands, func(a, b pcand) int {
 			switch {
 			case a.priority > b.priority:
 				return -1
@@ -740,13 +867,38 @@ func (s *searcher) expand(parent *node) {
 				return 0
 			}
 		})
-
-		pushed := 0
-		for i := range cands {
-			c := &cands[i]
+		for i := range tg.cands {
+			c := &tg.cands[i]
 			// A child can only be the identity (a solution) if it has
-			// exactly one term per output; anything else is checked only
-			// if it survives greedy pruning and admission.
+			// exactly one term per output; the commit half needs the
+			// materialized expansion for those, whether to report the
+			// solution or to queue the near-miss with its spec attached.
+			if c.terms == s.n {
+				cs, _ := spec.SubstituteCopy(target, c.factor)
+				if cs.IsIdentity() {
+					c.identity = true
+				} else {
+					c.sol = cs
+				}
+			}
+		}
+	}
+}
+
+// commit admits, deduplicates, and queues the generated children of
+// parent, in generated order. It owns every mutation of searcher-global
+// state — queue, transposition table, counters, best solution, first
+// moves — which is what makes a sequential merge of concurrently
+// generated expansions deterministic.
+func (s *searcher) commit(parent *node, gr *genResult) {
+	isRoot := parent.depth == 0
+	childDepth := parent.depth + 1
+	for ti := range gr.targets {
+		tg := &gr.targets[ti]
+		target := tg.target
+		pushed := 0
+		for i := range tg.cands {
+			c := &tg.cands[i]
 			solutionPossible := c.terms == s.n
 			inTopK := c.admit && (s.opts.GreedyK <= 0 || pushed < s.opts.GreedyK)
 			if !inTopK && !solutionPossible {
@@ -765,42 +917,31 @@ func (s *searcher) expand(parent *node) {
 			if s.tt != nil && s.tt.seen(c.hash, childDepth) {
 				continue
 			}
-			// Children are materialized lazily: the expansion is derived
-			// from the parent's (still resident, copy-on-write shared)
-			// expansion only when the child is popped — most queued nodes
-			// never are. Solution candidates are the exception: they must
-			// be checked now. Node structs are allocated only for children
-			// that are actually kept (queued or solutions).
-			var childSpec *pprm.Spec
-			if solutionPossible {
-				cs, _ := spec.SubstituteCopy(target, c.factor)
-				if cs.IsIdentity() {
-					if childDepth < s.bestDepth {
-						child := s.newNode()
-						*child = node{
-							parent:   parent,
-							id:       s.nodes,
-							target:   target,
-							factor:   c.factor,
-							depth:    childDepth,
-							terms:    c.terms,
-							elim:     c.elim,
-							priority: c.priority,
-							hash:     c.hash,
-						}
-						s.nodes++
-						s.bestDepth = childDepth
-						s.bestSol = child
-						s.solSteps = s.steps
-						if s.tt != nil {
-							s.tt.record(c.hash, childDepth)
-						}
-						s.emit(EventSolution, child)
-						s.observeSolution(child)
+			if c.identity {
+				if childDepth < s.bestDepth {
+					child := s.newNode()
+					*child = node{
+						parent:   parent,
+						id:       s.nodes,
+						target:   target,
+						factor:   c.factor,
+						depth:    childDepth,
+						terms:    c.terms,
+						elim:     c.elim,
+						priority: c.priority,
+						hash:     c.hash,
 					}
-					continue
+					s.nodes++
+					s.bestDepth = childDepth
+					s.bestSol = child
+					s.solSteps = s.steps
+					if s.tt != nil {
+						s.tt.record(c.hash, childDepth)
+					}
+					s.emit(EventSolution, child)
+					s.observeSolution(child)
 				}
-				childSpec = cs
+				continue
 			}
 			if !inTopK || childDepth >= s.bestDepth-1 {
 				continue
@@ -808,7 +949,7 @@ func (s *searcher) expand(parent *node) {
 			child := s.newNode()
 			*child = node{
 				parent:   parent,
-				spec:     childSpec,
+				spec:     c.sol,
 				id:       s.nodes,
 				target:   target,
 				factor:   c.factor,
@@ -828,7 +969,6 @@ func (s *searcher) expand(parent *node) {
 			s.emit(EventPush, child)
 			s.push(child)
 		}
-		s.sortBuf = cands[:0]
 	}
 	if isRoot {
 		// Restarts try alternative first substitutions in decreasing

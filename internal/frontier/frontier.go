@@ -1,0 +1,54 @@
+// Package frontier provides the concurrency primitives behind the
+// shared-frontier parallel search (see internal/core's Options.Workers):
+// a lock-sharded transposition table striped by the search's 64-bit
+// incremental state hashes, per-worker priority heaps with byte-accounted
+// work stealing, a worker pool with pending-count quiescence detection,
+// and an atomic best-cost bound broadcast.
+//
+// The package is deliberately search-agnostic: it moves opaque items,
+// hashes, priorities, and byte charges around; what a state *is* and how
+// it expands stays in internal/core. Two engines are built on top of it:
+//
+//   - deterministic-merge (core's batched engine) uses only the Bound and
+//     the parallel generation pool — every heap and table mutation stays
+//     on the coordinating goroutine, so results are byte-identical across
+//     runs and worker counts;
+//   - free-running uses everything here concurrently — hash-sharded heap
+//     ownership, striped table probes, stealing from the deepest peer —
+//     trading reproducibility for raw speed.
+package frontier
+
+import "sync/atomic"
+
+// Bound is the global best-cost broadcast: workers publish every strictly
+// improved solution depth and read the current bound to prune children
+// that can no longer beat it. The zero value is unusable; call NewBound
+// with the search's initial bound (maxGates+1).
+type Bound struct {
+	v atomic.Int64
+}
+
+// NewBound returns a bound initialized to limit.
+func NewBound(limit int) *Bound {
+	b := &Bound{}
+	b.v.Store(int64(limit))
+	return b
+}
+
+// Load returns the current bound.
+func (b *Bound) Load() int { return int(b.v.Load()) }
+
+// Publish lowers the bound to depth if depth improves on it, reporting
+// whether it did. Concurrent publishers race benignly: the bound only
+// ever decreases, so the winner of the CAS is the smallest depth.
+func (b *Bound) Publish(depth int) bool {
+	for {
+		cur := b.v.Load()
+		if int64(depth) >= cur {
+			return false
+		}
+		if b.v.CompareAndSwap(cur, int64(depth)) {
+			return true
+		}
+	}
+}

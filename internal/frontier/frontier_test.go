@@ -1,0 +1,360 @@
+package frontier
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// --- Bound ---
+
+func TestBoundPublishKeepsMinimum(t *testing.T) {
+	b := NewBound(100)
+	if !b.Publish(40) {
+		t.Fatal("Publish(40) on bound 100 should improve")
+	}
+	if b.Publish(40) || b.Publish(60) {
+		t.Fatal("equal or worse depths must not publish")
+	}
+	if got := b.Load(); got != 40 {
+		t.Fatalf("Load = %d, want 40", got)
+	}
+}
+
+func TestBoundConcurrentPublishers(t *testing.T) {
+	b := NewBound(1 << 30)
+	const workers = 8
+	const per = 2000
+	min := int64(1 << 30)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			local := int64(1 << 30)
+			for i := 0; i < per; i++ {
+				d := rng.Int63n(1 << 20)
+				b.Publish(int(d))
+				if d < local {
+					local = d
+				}
+			}
+			mu.Lock()
+			if local < min {
+				min = local
+			}
+			mu.Unlock()
+		}(int64(w) + 1)
+	}
+	wg.Wait()
+	if got := int64(b.Load()); got != min {
+		t.Fatalf("bound = %d, want global minimum %d", got, min)
+	}
+}
+
+// --- TT ---
+
+func TestTTDepthAwarePolicy(t *testing.T) {
+	tt := NewTT(1 << 16)
+	const h = 0xdeadbeefcafef00d
+	if tt.Seen(h, 3) {
+		t.Fatal("empty table must miss")
+	}
+	tt.Record(h, 3)
+	if !tt.Seen(h, 3) || !tt.Seen(h, 5) {
+		t.Fatal("equal-or-deeper probe must hit")
+	}
+	if tt.Seen(h, 2) {
+		t.Fatal("shallower probe must miss (it supersedes)")
+	}
+	tt.Record(h, 2) // shallower supersedes
+	if tt.Seen(h, 1) {
+		t.Fatal("entry should now be at depth 2")
+	}
+	tt.Forget(h, 3) // wrong depth: must keep the shallower mark
+	if !tt.Seen(h, 2) {
+		t.Fatal("Forget at a stale depth must not drop the entry")
+	}
+	tt.Forget(h, 2)
+	if tt.Entries() != 0 {
+		t.Fatalf("entries = %d after exact-depth forget, want 0", tt.Entries())
+	}
+	tt.Record(h, 1)
+	tt.Reset()
+	if tt.Entries() != 0 || tt.Bytes() != 0 {
+		t.Fatal("Reset must clear entries and bytes")
+	}
+	if _, _, ev := tt.Stats(); ev == 0 {
+		t.Fatal("Reset must count evictions")
+	}
+}
+
+func TestTTBytesTrackEntries(t *testing.T) {
+	tt := NewTT(1 << 16)
+	for i := uint64(0); i < 1000; i++ {
+		tt.Record(i*0x9e3779b97f4a7c15, int(i%7))
+	}
+	if got, want := tt.Bytes(), int64(tt.Entries())*ttEntryBytes; got != want {
+		t.Fatalf("Bytes = %d, want entries×%d = %d", got, ttEntryBytes, want)
+	}
+}
+
+func TestTTConcurrentShardInterleavings(t *testing.T) {
+	tt := NewTT(1 << 16)
+	const workers = 8
+	const per = 4000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				// Small key space forces cross-worker collisions on the
+				// same shards and entries.
+				h := uint64(rng.Intn(512)) * 0x9e3779b97f4a7c15
+				d := rng.Intn(8)
+				if !tt.Seen(h, d) {
+					tt.Record(h, d)
+				}
+				if rng.Intn(16) == 0 {
+					tt.Forget(h, d)
+				}
+			}
+		}(int64(w) + 1)
+	}
+	wg.Wait()
+	hits, misses, _ := tt.Stats()
+	if hits+misses != workers*per {
+		t.Fatalf("hits+misses = %d, want %d probes", hits+misses, workers*per)
+	}
+	if got, want := tt.Bytes(), int64(tt.Entries())*ttEntryBytes; got != want {
+		t.Fatalf("Bytes = %d disagrees with entries = %d", got, tt.Entries())
+	}
+}
+
+// --- Heap ---
+
+type item struct {
+	id  int
+	mem int64
+}
+
+func itemMem(it item) int64 { return it.mem }
+
+func TestHeapPriorityOrderFIFOTies(t *testing.T) {
+	h := NewHeap(itemMem)
+	h.Push(item{id: 0, mem: 1}, 1.0)
+	h.Push(item{id: 1, mem: 1}, 3.0)
+	h.Push(item{id: 2, mem: 1}, 3.0) // tie: FIFO after id 1
+	h.Push(item{id: 3, mem: 1}, 2.0)
+	want := []int{1, 2, 3, 0}
+	for _, w := range want {
+		v, ok := h.Pop()
+		if !ok || v.id != w {
+			t.Fatalf("pop = %v (ok=%v), want id %d", v, ok, w)
+		}
+	}
+	if _, ok := h.Pop(); ok {
+		t.Fatal("empty heap must report !ok")
+	}
+}
+
+func TestHeapByteAccountingExact(t *testing.T) {
+	h := NewHeap(itemMem)
+	var want int64
+	for i := 0; i < 100; i++ {
+		m := int64(10 + i)
+		h.Push(item{id: i, mem: m}, float64(i%7))
+		want += m
+	}
+	if h.Bytes() != want {
+		t.Fatalf("Bytes = %d, want %d", h.Bytes(), want)
+	}
+	for i := 0; i < 40; i++ {
+		v, _ := h.Pop()
+		want -= v.mem
+	}
+	if h.Bytes() != want {
+		t.Fatalf("Bytes after pops = %d, want %d", h.Bytes(), want)
+	}
+	dropped := int64(0)
+	h.PruneTo(10, func(v item) { dropped += v.mem })
+	if h.Bytes() != want-dropped {
+		t.Fatalf("Bytes after prune = %d, want %d", h.Bytes(), want-dropped)
+	}
+	h.Clear(nil)
+	if h.Bytes() != 0 || h.Len() != 0 {
+		t.Fatal("Clear must zero accounting")
+	}
+}
+
+// TestHeapStealMovesCharges is the regression test for the double-count
+// class of bug: a node in flight between a victim and a thief must be
+// charged at most once, so the sum of heap bytes sampled concurrently can
+// never exceed the true total of queued charges.
+func TestHeapStealMovesCharges(t *testing.T) {
+	const heaps = 4
+	const perHeap = 3000
+	const mem = 128
+	hs := make([]*Heap[item], heaps)
+	for i := range hs {
+		hs[i] = NewHeap(itemMem)
+	}
+	var pushed, consumed atomic.Int64
+	var overCount atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < heaps; w++ {
+		wg.Add(1)
+		go func(self int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(self) + 1))
+			for i := 0; i < perHeap; i++ {
+				hs[self].Push(item{id: self*perHeap + i, mem: mem}, rng.Float64())
+				pushed.Add(1)
+				// Interleave pops and steals with pushes.
+				if i%3 == 0 {
+					if _, ok := hs[self].Pop(); ok {
+						consumed.Add(1)
+					}
+				}
+				if i%5 == 0 {
+					if v := Deepest(hs, self); v >= 0 {
+						if _, ok := hs[v].Steal(); ok {
+							consumed.Add(1)
+						}
+					}
+				}
+				// The sampled global total must never exceed what has been
+				// pushed and not yet consumed — a steal that held the charge
+				// on both heaps would trip this.
+				var total int64
+				for _, h := range hs {
+					total += h.Bytes()
+				}
+				if total > (pushed.Load()-consumed.Load())*mem {
+					overCount.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := overCount.Load(); n != 0 {
+		t.Fatalf("observed %d samples where summed heap bytes exceeded live charges (double count)", n)
+	}
+	var remaining int64
+	for _, h := range hs {
+		remaining += h.Bytes()
+	}
+	if want := (pushed.Load() - consumed.Load()) * mem; remaining != want {
+		t.Fatalf("final summed bytes = %d, want %d", remaining, want)
+	}
+}
+
+// --- Pool ---
+
+func TestPoolFirstStopWins(t *testing.T) {
+	p := NewPool()
+	if p.Stopped() {
+		t.Fatal("fresh pool must not be stopped")
+	}
+	if !p.Stop(7) {
+		t.Fatal("first Stop must win")
+	}
+	if p.Stop(9) {
+		t.Fatal("second Stop must lose")
+	}
+	if p.Reason() != 7 {
+		t.Fatalf("Reason = %d, want 7", p.Reason())
+	}
+	p.Resume()
+	if p.Stopped() || p.Reason() != 0 {
+		t.Fatal("Resume must clear the stop")
+	}
+}
+
+// TestPoolWorkStealingDrain runs a miniature hash-sharded search: items
+// are integers, expansion of v yields 2v+1 and 2v+2 below a limit, each
+// routed to its owner heap by hash, deduplicated through the striped
+// table, with idle workers stealing from the deepest peer. Every
+// reachable item must be expanded exactly once and the pool must detect
+// quiescence on its own — the steal/broadcast/shard interleavings the
+// free-running engine depends on.
+func TestPoolWorkStealingDrain(t *testing.T) {
+	const workers = 8
+	const limit = 20000
+	hs := make([]*Heap[item], workers)
+	for i := range hs {
+		hs[i] = NewHeap(itemMem)
+	}
+	tt := NewTT(1 << 18)
+	p := NewPool()
+	var expanded atomic.Int64
+	seenOnce := make([]atomic.Int32, limit)
+
+	owner := func(v int) int { return (v * 0x9e37) % workers }
+	push := func(v int) {
+		h := uint64(v) * 0x9e3779b97f4a7c15
+		if tt.Seen(h, 0) {
+			return
+		}
+		tt.Record(h, 0)
+		p.AddPending(1)
+		hs[owner(v)].Push(item{id: v, mem: 64}, -float64(v))
+	}
+	push(0)
+
+	p.Run(workers, func(id int) {
+		idleSpins := 0
+		for !p.Stopped() {
+			it, ok := hs[id].Pop()
+			if !ok {
+				if v := Deepest(hs, id); v >= 0 {
+					if it, ok = hs[v].Steal(); ok {
+						p.NoteSteal()
+					}
+				}
+			}
+			if !ok {
+				p.NoteIdle()
+				idleSpins++
+				if p.Pending() == 0 {
+					p.Stop(1)
+					return
+				}
+				runtime.Gosched()
+				continue
+			}
+			idleSpins = 0
+			seenOnce[it.id].Add(1)
+			for _, c := range []int{2*it.id + 1, 2*it.id + 2} {
+				if c < limit {
+					push(c)
+				}
+			}
+			expanded.Add(1)
+			p.AddPending(-1)
+		}
+	})
+
+	if p.Reason() != 1 {
+		t.Fatalf("stop reason = %d, want quiescence (1)", p.Reason())
+	}
+	if got := expanded.Load(); got != limit {
+		t.Fatalf("expanded %d items, want all %d reachable", got, limit)
+	}
+	for v := range seenOnce {
+		if n := seenOnce[v].Load(); n != 1 {
+			t.Fatalf("item %d expanded %d times, want exactly once", v, n)
+		}
+	}
+	for _, h := range hs {
+		if h.Len() != 0 || h.Bytes() != 0 {
+			t.Fatal("heaps must be drained with zeroed accounting")
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package frontier
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/queue"
+)
+
+// Heap is one worker's slice of the logical priority frontier: a
+// mutex-guarded max-heap (FIFO among priority ties, like the sequential
+// queue) with byte accounting that travels with the items. The owning
+// worker pushes and pops through the same lock that thieves steal
+// through; contention stays low because owners touch the lock once per
+// expansion while thieves only arrive when their own heap is empty.
+//
+// Byte accounting is the part that has to be exact: an item's charge is
+// added on Push and released on Pop/Steal/prune — never both held by a
+// victim and a thief — so that a global watermark sampled as the sum of
+// per-heap Bytes is monotone within an attempt and never double-counts a
+// node in flight between heaps.
+type Heap[T any] struct {
+	mu    sync.Mutex
+	pq    queue.Queue[T]
+	memOf func(T) int64
+
+	len   atomic.Int64 // mirror of pq.Len(), readable without the lock
+	bytes atomic.Int64 // sum of queued items' charges, ditto
+}
+
+// NewHeap returns an empty heap. memOf reports the bytes an item pins
+// while queued; it must be stable for a given item between its Push and
+// its Pop.
+func NewHeap[T any](memOf func(T) int64) *Heap[T] {
+	return &Heap[T]{memOf: memOf}
+}
+
+// Push queues v and charges its bytes.
+func (h *Heap[T]) Push(v T, priority float64) {
+	m := h.memOf(v)
+	h.mu.Lock()
+	h.pq.Push(v, priority)
+	h.len.Store(int64(h.pq.Len()))
+	h.bytes.Add(m)
+	h.mu.Unlock()
+}
+
+// Pop removes and returns the best item, releasing its byte charge. The
+// boolean is false when the heap is empty. Steal is the same operation
+// performed by a non-owner; the split exists only so callers can count
+// the two differently.
+func (h *Heap[T]) Pop() (T, bool) {
+	h.mu.Lock()
+	v, ok := h.pq.Pop()
+	if ok {
+		h.len.Store(int64(h.pq.Len()))
+		h.bytes.Add(-h.memOf(v))
+	}
+	h.mu.Unlock()
+	return v, ok
+}
+
+// Steal is Pop for a thief: it takes the victim's current best item, so
+// stolen work is always the most promising work the victim had. The byte
+// charge is released here and re-charged wherever the thief's expansion
+// pushes children — the charge moves, it is never held twice.
+func (h *Heap[T]) Steal() (T, bool) { return h.Pop() }
+
+// Len returns the number of queued items without taking the lock.
+func (h *Heap[T]) Len() int { return int(h.len.Load()) }
+
+// Bytes returns the queued items' byte charges without taking the lock.
+func (h *Heap[T]) Bytes() int64 { return h.bytes.Load() }
+
+// PruneTo keeps only the k best items, invoking discard (if non-nil) for
+// every dropped one, and returns how many were dropped. The byte
+// accounting is recomputed from the survivors, so a prune can only lower
+// the heap's contribution to the global estimate.
+func (h *Heap[T]) PruneTo(k int, discard func(T)) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	before := h.pq.Len()
+	if before <= k {
+		return 0
+	}
+	h.pq.PruneToFunc(k, discard)
+	var b int64
+	h.pq.Each(func(v T) { b += h.memOf(v) })
+	h.len.Store(int64(h.pq.Len()))
+	h.bytes.Store(b)
+	return before - h.pq.Len()
+}
+
+// Clear drains the heap, invoking drain (if non-nil) for every item, and
+// zeroes the byte accounting. Used by the restart heuristic; the restart
+// re-seeds through ordinary Pushes, so a node dropped here and re-derived
+// later is charged exactly once.
+func (h *Heap[T]) Clear(drain func(T)) {
+	h.mu.Lock()
+	if drain != nil {
+		h.pq.Each(drain)
+	}
+	h.pq.Clear()
+	h.len.Store(0)
+	h.bytes.Store(0)
+	h.mu.Unlock()
+}
+
+// Deepest returns the index of the deepest non-empty heap other than
+// self, or -1 when every peer is empty. It reads the lock-free length
+// mirrors, so the answer can be stale by a few operations — good enough
+// for a steal victim choice, which only needs to find *work*, not the
+// precise maximum.
+func Deepest[T any](heaps []*Heap[T], self int) int {
+	best, bestLen := -1, 0
+	for i, h := range heaps {
+		if i == self {
+			continue
+		}
+		if l := h.Len(); l > bestLen {
+			best, bestLen = i, l
+		}
+	}
+	return best
+}

@@ -1,0 +1,87 @@
+package frontier
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Pool coordinates the free-running engine's workers: it runs them,
+// carries the first stop reason raised by any of them, detects quiescence
+// through a pending-work count, and aggregates the steal/idle telemetry
+// the observability layer reports.
+//
+// Pending counts items that still represent future work: incremented for
+// every node enqueued on any heap, decremented when a node's expansion
+// completes (or the node is discarded by a prune or cutoff). A steal
+// changes nothing — the work moved, it did not finish — so "all heaps
+// empty" alone never terminates a run while a peer is still expanding a
+// node whose children are about to appear.
+type Pool struct {
+	pending atomic.Int64
+	reason  atomic.Int64 // 0 = running; first Stop code wins
+	steals  atomic.Int64
+	idles   atomic.Int64
+}
+
+// NewPool returns an idle pool.
+func NewPool() *Pool { return &Pool{} }
+
+// AddPending adjusts the outstanding-work count by n (negative to retire
+// work).
+func (p *Pool) AddPending(n int) { p.pending.Add(int64(n)) }
+
+// Pending returns the current outstanding-work count.
+func (p *Pool) Pending() int64 { return p.pending.Load() }
+
+// Stop records code as the run's stop reason; the first caller wins and
+// every worker observes Stopped on its next poll. code must be nonzero.
+// It reports whether this call was the one that stopped the pool.
+func (p *Pool) Stop(code int) bool {
+	return p.reason.CompareAndSwap(0, int64(code))
+}
+
+// Stopped reports whether any worker has raised a stop.
+func (p *Pool) Stopped() bool { return p.reason.Load() != 0 }
+
+// Reason returns the stop code, 0 while running.
+func (p *Pool) Reason() int { return int(p.reason.Load()) }
+
+// NoteSteal counts one successful steal.
+func (p *Pool) NoteSteal() { p.steals.Add(1) }
+
+// NoteIdle counts one empty-handed scan (no local work, nothing to
+// steal).
+func (p *Pool) NoteIdle() { p.idles.Add(1) }
+
+// Steals returns the cumulative successful steals.
+func (p *Pool) Steals() int64 { return p.steals.Load() }
+
+// Idles returns the cumulative empty-handed scans.
+func (p *Pool) Idles() int64 { return p.idles.Load() }
+
+// Run starts workers goroutines executing fn(id) and blocks until all of
+// them return. Reset of the stop reason between runs is deliberate —
+// the free-running engine's restart heuristic tears the pool's workers
+// down, reseeds the heaps, and runs again on the same Pool so the
+// steal/idle telemetry spans the whole search.
+func (p *Pool) Run(workers int, fn func(id int)) {
+	if workers <= 1 {
+		fn(0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(id int) {
+			defer wg.Done()
+			fn(id)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Resume clears the stop reason so the same pool can run another leg
+// (the free-running restart path). Telemetry and pending survive; the
+// caller is responsible for having drained or reseeded pending to match
+// the heaps.
+func (p *Pool) Resume() { p.reason.Store(0) }

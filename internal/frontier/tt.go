@@ -1,0 +1,172 @@
+package frontier
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ttShards is the number of independently locked table shards. Fixed (not
+// derived from the worker count) so that probe routing — and with it any
+// accounting the caller derives from per-shard totals — does not change
+// shape when a search is re-run wider or narrower. 64 shards keep the
+// expected waiters per lock well below one even at the largest worker
+// counts the engine accepts.
+const ttShards = 64
+
+// ttEntryBytes approximates the resident cost of one table entry for the
+// MaxMemory accounting: key+value rounded up to Go map bucket overhead.
+// Kept identical to the sequential table's estimate so single- and
+// multi-worker runs meter the same ceiling the same way.
+const ttEntryBytes = 32
+
+// TT is a lock-sharded transposition table: a map from 64-bit search-state
+// hashes to the shallowest depth at which the state has been queued or
+// solved, striped across ttShards independently locked maps by the low
+// bits of the hash. The replacement policy matches the sequential table in
+// internal/core: a probe at depth ≥ the stored depth is a hit (the
+// duplicate is pruned), a shallower rediscovery misses and supersedes the
+// entry when recorded, and a full shard is cleared wholesale rather than
+// evicted piecemeal.
+//
+// Seen/Record/Forget are safe for concurrent use. Reset and Entries are
+// quiescent-state operations: they take every shard lock in turn, so they
+// are safe to call concurrently too, but the totals they return are only
+// exact when no worker is mutating the table (the engines call them at
+// stop-the-world points: restarts and final accounting).
+type TT struct {
+	shards [ttShards]ttShard
+
+	// Shared counters are too hot for a single cache line per probe;
+	// each shard counts locally under its own lock and the totals are
+	// summed on demand.
+}
+
+type ttShard struct {
+	mu        sync.Mutex
+	entries   map[uint64]int32
+	limit     int
+	hits      int64
+	misses    int64
+	evictions int64
+	bytes     atomic.Int64 // entries × ttEntryBytes, readable without the lock
+}
+
+// NewTT returns a table bounded to limit entries in total; each shard
+// clears itself wholesale when it exceeds its share.
+func NewTT(limit int) *TT {
+	t := &TT{}
+	per := limit / ttShards
+	if per < 1 {
+		per = 1
+	}
+	for i := range t.shards {
+		t.shards[i].entries = make(map[uint64]int32)
+		t.shards[i].limit = per
+	}
+	return t
+}
+
+func (t *TT) shard(h uint64) *ttShard {
+	// The search hashes are splitmix64-finalized, so the low bits are
+	// already well mixed.
+	return &t.shards[h%ttShards]
+}
+
+// Seen probes the table: it reports whether state h has already been
+// reached at depth ≤ depth, counting the probe as a hit or miss. It never
+// modifies the table — recording is the caller's decision.
+func (t *TT) Seen(h uint64, depth int) bool {
+	s := t.shard(h)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d, ok := s.entries[h]; ok && int(d) <= depth {
+		s.hits++
+		return true
+	}
+	s.misses++
+	return false
+}
+
+// Record stores state h at the given depth, keeping the shallower of the
+// new and existing depths. A full shard is cleared wholesale (counted as
+// evictions) rather than evicted piecemeal.
+func (t *TT) Record(h uint64, depth int) {
+	s := t.shard(h)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d, ok := s.entries[h]; ok {
+		if int32(depth) < d {
+			s.entries[h] = int32(depth)
+		}
+		return
+	}
+	if len(s.entries) >= s.limit {
+		s.evictions += int64(len(s.entries))
+		clear(s.entries)
+	}
+	s.entries[h] = int32(depth)
+	s.bytes.Store(int64(len(s.entries)) * ttEntryBytes)
+}
+
+// Forget removes the entry for state h, but only if it still records
+// exactly the given depth — a shallower duplicate enqueued later keeps its
+// mark even when the deeper node that first recorded the state is pruned.
+func (t *TT) Forget(h uint64, depth int) {
+	s := t.shard(h)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d, ok := s.entries[h]; ok && d == int32(depth) {
+		delete(s.entries, h)
+		s.bytes.Store(int64(len(s.entries)) * ttEntryBytes)
+	}
+}
+
+// Reset drops every entry in every shard (restart or memory-pressure
+// escalation), counting them as evictions.
+func (t *TT) Reset() {
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		s.evictions += int64(len(s.entries))
+		clear(s.entries)
+		s.bytes.Store(0)
+		s.mu.Unlock()
+	}
+}
+
+// Bytes is the table's contribution to the MaxMemory estimate, summed
+// across shards. Lock-free: each shard publishes its size atomically, so
+// the sum is a consistent-enough sample for a coarse ceiling.
+func (t *TT) Bytes() int64 {
+	var b int64
+	for i := range t.shards {
+		b += t.shards[i].bytes.Load()
+	}
+	return b
+}
+
+// Entries returns the total number of recorded states across shards.
+func (t *TT) Entries() int {
+	n := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats returns the cumulative hit/miss/eviction counts summed across
+// shards.
+func (t *TT) Stats() (hits, misses, evictions int64) {
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		hits += s.hits
+		misses += s.misses
+		evictions += s.evictions
+		s.mu.Unlock()
+	}
+	return hits, misses, evictions
+}

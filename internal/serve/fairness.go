@@ -41,11 +41,6 @@ type bucket struct {
 	last   time.Time
 }
 
-// bucketIdleEvict is how long an untouched full bucket survives before
-// the sweep drops it — pure memory hygiene, invisible to clients (a fresh
-// bucket starts full).
-const bucketIdleEvict = 10 * time.Minute
-
 func newLimiter(rate float64, burst int, now func() time.Time) *limiter {
 	if rate <= 0 {
 		return nil
@@ -88,12 +83,20 @@ func (l *limiter) allow(key string) (bool, time.Duration) {
 	return false, time.Duration(need * float64(time.Second))
 }
 
-// sweepLocked drops buckets that have been full-and-idle long enough that
-// recreating them is indistinguishable from keeping them.
+// sweepLocked drops only buckets whose lazy refill has already brought
+// them back to full: recreating such a bucket is indistinguishable from
+// keeping it, because a fresh bucket starts full. Any wall-clock rule is
+// unsound here — this sweep runs under key-churn pressure (a flood of
+// spoofed X-Client-IDs keeps the map at its cap), and evicting a bucket
+// that is merely old forgets the debt of a still-throttled client: its
+// next submission would mint a fresh full bucket, so the abuser that
+// caused the sweep also resets every active client's limit. At low
+// sustained rates the refill window (burst/rate) is far longer than any
+// fixed idle cutoff.
 func (l *limiter) sweepLocked(now time.Time) {
 	for k, b := range l.buckets {
 		idle := now.Sub(b.last)
-		if idle >= bucketIdleEvict || (idle >= time.Minute && b.tokens+l.rate*idle.Seconds() >= l.burst) {
+		if b.tokens+l.rate*idle.Seconds() >= l.burst {
 			delete(l.buckets, k)
 		}
 	}

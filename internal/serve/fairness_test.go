@@ -1,0 +1,68 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestSweepKeepsThrottledClientsUnderKeyChurn is the regression test for
+// the capacity sweep evicting buckets by wall-clock age: a flood of
+// spoofed X-Client-IDs pins the map at its 4096-key cap, so every new
+// key runs the sweep, and the old unconditional 10-minute idle rule
+// would delete the bucket of a legitimately throttled client whose
+// refill window (burst/rate) is much longer than 10 minutes. Its next
+// submission then minted a fresh full bucket — the abuser that caused
+// the sweep also reset every active client's limit. The sweep may only
+// drop buckets the lazy refill has already returned to full, where
+// recreation is indistinguishable from retention.
+func TestSweepKeepsThrottledClientsUnderKeyChurn(t *testing.T) {
+	now := time.Unix(1_000_000, 0)
+	// 0.001 jobs/s, burst 2: a drained bucket takes ~2000 s to refill.
+	l := newLimiter(0.001, 2, func() time.Time { return now })
+
+	// Client A spends its burst and is throttled.
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.allow("id:A"); !ok {
+			t.Fatalf("burst submission %d throttled, want allowed", i)
+		}
+	}
+	if ok, wait := l.allow("id:A"); ok {
+		t.Fatal("A allowed over burst, want throttled")
+	} else if wait <= 0 {
+		t.Fatalf("throttled without a retry hint (wait=%v)", wait)
+	}
+
+	// A spoofed-ID flood pins the bucket map at its cap, forcing the
+	// sweep on every new key.
+	for i := 0; i < 5000; i++ {
+		l.allow(fmt.Sprintf("id:flood-%d", i))
+	}
+
+	// Eleven minutes of quiet: past the old wall-clock eviction cutoff,
+	// but far inside A's ~2000 s refill window.
+	now = now.Add(11 * time.Minute)
+	if ok, _ := l.allow("id:A"); ok {
+		t.Fatal("throttled client re-admitted after the flood: the sweep evicted its dry bucket and the retry minted a fresh full one")
+	}
+
+	// The second client is still served: when nothing is legitimately
+	// evictable the limiter fails open for new keys rather than shedding
+	// innocents — bounded memory must cost the abuser, not client B.
+	if ok, _ := l.allow("id:B"); !ok {
+		t.Fatal("fresh client throttled while the map is pinned at its cap")
+	}
+
+	// Once the refill window truly elapses the flood's full buckets (and
+	// A's) become evictable, the map shrinks, and A is whole again.
+	now = now.Add(2100 * time.Second)
+	if ok, _ := l.allow("id:C"); !ok {
+		t.Fatal("new client throttled after the refill window expired")
+	}
+	if n := len(l.buckets); n >= 4096 {
+		t.Fatalf("bucket map still pinned at %d entries after every bucket refilled", n)
+	}
+	if ok, _ := l.allow("id:A"); !ok {
+		t.Fatal("A still throttled after its bucket fully refilled")
+	}
+}

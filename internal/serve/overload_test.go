@@ -103,6 +103,44 @@ func TestQueueFullShedsWith429AndRetryAfter(t *testing.T) {
 	}
 }
 
+// TestRetryAfterCeilingRounding is the regression test for the
+// depth-scaled hint rounding DOWN: with a 600 ms base and 3 jobs queued
+// behind 1 worker the computed wait is (1+3/1)×600ms = 2.4 s, which
+// Round(time.Second) truncated to 2 — clients came back ~17% early and
+// were shed again. The header must carry the ceiling, 3.
+func TestRetryAfterCeilingRounding(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	s, ts := startTestServer(t, Config{
+		Workers:          1,
+		QueueInteractive: 3,
+		QueueBatch:       2,
+		Runner:           blockingRunner(release),
+		RetryAfter:       600 * time.Millisecond,
+	})
+
+	codes := submitN(t, ts.URL, 4, "interactive")
+	for i, c := range codes {
+		if c != http.StatusAccepted {
+			t.Fatalf("submit %d = %d, want 202", i, c)
+		}
+	}
+	waitForDepth(t, s, 3, 0)
+
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"spec":{"bench":"rd32"},"budget":{"steps":9999}}`))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "3" {
+		t.Errorf("Retry-After = %q, want %q (ceiling of 2.4s, not nearest-second 2)", ra, "3")
+	}
+}
+
 func TestInteractiveDequeuesBeforeEarlierBatch(t *testing.T) {
 	release := make(chan struct{}) // closed below, once the first job runs
 

@@ -183,6 +183,26 @@ func (s *Server) invoke(ctx context.Context, j *Job) (res core.Result) {
 	return s.realRun(ctx, j)
 }
 
+// claimSearchWorkers decides how many parallel-search workers the job
+// being executed may claim from the pool's SearchWorkers core budget.
+// With shallow queues the latency win of the det-merge engine is free —
+// the cores would otherwise idle; each waiting job dilutes the claim,
+// and once the share drops to a single core the job runs the sequential
+// engine (a one-worker parallel run is pure overhead). Returns 0 for
+// "sequential".
+func (s *Server) claimSearchWorkers() int {
+	total := s.cfg.SearchWorkers
+	if total <= 1 {
+		return 0
+	}
+	qi, qb := s.queue.Depths()
+	claim := total / (1 + qi + qb)
+	if claim <= 1 {
+		return 0
+	}
+	return claim
+}
+
 // realRun executes the job on the RMRLS engine: checkpointing into the
 // state directory when one is configured, resuming from a recovered drain
 // checkpoint when present, and degrading a broken checkpoint to a fresh
@@ -193,6 +213,11 @@ func (s *Server) realRun(ctx context.Context, j *Job) core.Result {
 		opts = opts.Degraded()
 	}
 	opts.Observe = j.run
+	// Parallel search is always the deterministic-merge engine here: the
+	// worker count does not enter the options fingerprint, so cached
+	// answers and drain checkpoints stay valid whatever the queue depth
+	// was when the job (or its resume) happened to run.
+	opts.Workers = s.claimSearchWorkers()
 	if s.cfg.StateDir != "" {
 		opts.Checkpoint = core.Checkpoint{
 			Path:       s.checkpointPath(j),

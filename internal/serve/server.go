@@ -24,6 +24,12 @@ type Config struct {
 	// Workers is the fixed worker-pool size (default 2). Each worker runs
 	// one synthesis at a time; host memory budget ≈ Workers × Ceiling.MaxMemory.
 	Workers int
+	// SearchWorkers is the pool's parallel-search core budget. When the
+	// queues are shallow, a dequeued job claims several of these and runs
+	// the deterministic-merge parallel engine; when jobs are waiting,
+	// cores are better spent running more jobs concurrently and everyone
+	// degrades to the sequential engine. 0 or 1 disables parallel search.
+	SearchWorkers int
 	// QueueInteractive and QueueBatch cap the per-class job queues
 	// (defaults 64 and 256). A full class sheds with 429 + Retry-After.
 	QueueInteractive int
@@ -368,7 +374,11 @@ func writeError(w http.ResponseWriter, code int, field, format string, args ...a
 }
 
 func setRetryAfter(w http.ResponseWriter, d time.Duration) {
-	secs := int(d.Round(time.Second) / time.Second)
+	// Ceiling, not nearest-second rounding: Retry-After is a promise about
+	// when capacity should exist. Rounding 2.4 s of expected wait down to
+	// 2 re-admits the client early, only to shed it again — under sustained
+	// overload every retry wave came back ~17% hot. Never hint below 1 s.
+	secs := int((d + time.Second - 1) / time.Second)
 	if secs < 1 {
 		secs = 1
 	}
